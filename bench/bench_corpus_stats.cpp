@@ -1,0 +1,68 @@
+// §2.1 / §7.2 corpus statistics: validates that the synthetic Alexa-like
+// corpus matches what the paper reports about its evaluation pages.
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Corpus statistics (paper §2.1, §7.2)",
+                      "synthetic Alexa-like corpus vs published stats");
+
+  // Large sample for distribution statistics.
+  int stat_pages = opts.quick ? 60 : 300;
+  web::PageGenerator gen(2014);
+  auto specs = gen.corpus_specs(stat_pages);
+
+  int pages_100_objs = 0;
+  int pages_20_js = 0;
+  std::vector<double> page_sizes, object_sizes;
+  std::size_t post_onload_total = 0, objects_total = 0;
+  for (const auto& spec : specs) {
+    web::WebPage page = web::PageGenerator::generate(spec);
+    if (page.object_count() >= 100) ++pages_100_objs;
+    std::size_t js = page.count_of(web::ObjectType::kJs) +
+                     page.count_of(web::ObjectType::kJsAsync);
+    if (js >= 20) ++pages_20_js;
+    page_sizes.push_back(static_cast<double>(page.total_bytes()));
+    for (const web::WebObject* obj : page.objects()) {
+      object_sizes.push_back(static_cast<double>(obj->size));
+      ++objects_total;
+      if (obj->post_onload) ++post_onload_total;
+    }
+  }
+
+  std::printf("pages sampled: %d, objects: %zu\n", stat_pages, objects_total);
+  std::printf("pages with >=100 objects: %.1f%%   (paper: 40%%)\n",
+              100.0 * pages_100_objs / stat_pages);
+  std::printf("pages with >=20 JS files: %.1f%%   (paper: 40%% of pages)\n",
+              100.0 * pages_20_js / stat_pages);
+  std::printf("page size   p50=%s  max=%s     (paper: median 1.04 MB, max ~5 MB)\n",
+              util::format_bytes((long long)util::median(page_sizes)).c_str(),
+              util::format_bytes((long long)util::percentile(page_sizes, 100)).c_str());
+  std::printf("object size p50=%s p80=%s p95=%s (paper: 18 / 107 / 386 KB)\n",
+              util::format_bytes((long long)util::percentile(object_sizes, 50)).c_str(),
+              util::format_bytes((long long)util::percentile(object_sizes, 80)).c_str(),
+              util::format_bytes((long long)util::percentile(object_sizes, 95)).c_str());
+  std::printf("post-onload object share: %.1f%% of objects\n",
+              100.0 * post_onload_total / objects_total);
+
+  // §7.3 variability: coefficient of variation of object count across
+  // back-to-back "live" loads, before replay normalization freezes it.
+  int sites_high_cov = 0;
+  const int cov_sites = 20;
+  for (int s = 0; s < cov_sites; ++s) {
+    std::vector<double> counts;
+    for (int v = 0; v < 10; ++v) {
+      web::PageSpec variant = web::PageGenerator::live_variant(specs[s], v);
+      counts.push_back(static_cast<double>(
+          web::PageGenerator::generate(variant).object_count()));
+    }
+    if (util::coeff_of_variation(counts) >= 0.5) ++sites_high_cov;
+  }
+  std::printf("sites with object-count CoV >= 0.5 across 10 live reloads: "
+              "%.0f%% (paper: 50%%; replay freezes this)\n",
+              100.0 * sites_high_cov / cov_sites);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// §8.3 "Sensitivity to proxy-server delay": dummynet RTT 20 ms vs 60 ms
+// (one-way 10/30 ms). Paper: with higher delay, ONLD's latency penalty
+// grows but so do its energy savings over IND.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Proxy-server delay sensitivity (§8.3)",
+                      "ONLD vs IND under 20 ms and 60 ms origin RTT");
+
+  bench::Corpus corpus = bench::build_corpus(std::min(opts.pages, 12));
+
+  for (double one_way_ms : {10.0, 30.0}) {
+    core::RunConfig cfg = bench::replay_run_config(71);
+    cfg.testbed.server_delay = util::Duration::millis(one_way_ms);
+    bench::PageMedians ind =
+        bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+    bench::PageMedians onld =
+        bench::run_corpus(core::Scheme::kParcelOnld, corpus, opts.rounds, cfg);
+
+    std::vector<double> olt_penalty, energy_delta;
+    for (std::size_t i = 0; i < ind.olt_sec.size(); ++i) {
+      olt_penalty.push_back(onld.olt_sec[i] - ind.olt_sec[i]);
+      energy_delta.push_back(onld.radio_j[i] - ind.radio_j[i]);
+    }
+    std::printf("\norigin RTT %3.0f ms: ONLD OLT penalty median %+.2fs, "
+                "ONLD energy delta median %+.2fJ\n",
+                2 * one_way_ms, util::median(olt_penalty),
+                util::median(energy_delta));
+  }
+  std::printf("\npaper: at higher proxy-server delay ONLD pays more latency\n"
+              "but saves more energy, because IND's arrivals spread out and\n"
+              "cost extra state transitions.\n");
+  return 0;
+}

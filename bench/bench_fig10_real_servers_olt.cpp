@@ -1,0 +1,47 @@
+// Fig 10: OLT with "real web servers" (§8.4): live (un-normalized) pages,
+// heterogeneous per-domain origin delays, LTE signal fading.
+// PARCEL(512K) vs DIR.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 10", "OLT with real web servers (live mode)");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::live_run_config(101);
+
+  // Live mode: run against the *unnormalized* pages (fetchRand active).
+  std::vector<double> dir_olt, parcel_olt;
+  for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
+    util::Summary dir_s, parcel_s;
+    for (int r = 0; r < opts.rounds; ++r) {
+      core::RunConfig run_cfg = cfg;
+      run_cfg.seed = cfg.seed + 211ULL * p + 13ULL * r;
+      run_cfg.testbed.fade_seed = run_cfg.seed * 3 + 1;
+      auto dir = core::ExperimentRunner::run(core::Scheme::kDir,
+                                             *corpus.live_pages[p], run_cfg);
+      auto parcel = core::ExperimentRunner::run(
+          core::Scheme::kParcel512K, *corpus.live_pages[p], run_cfg);
+      dir_s.add(dir.olt.sec());
+      parcel_s.add(parcel.olt.sec());
+    }
+    dir_olt.push_back(dir_s.median());
+    parcel_olt.push_back(parcel_s.median());
+  }
+
+  bench::print_cdf("PARCEL(512K) OLT (s)", parcel_olt);
+  bench::print_cdf("DIR OLT (s)", dir_olt);
+
+  int third_or_less = 0;
+  for (std::size_t i = 0; i < dir_olt.size(); ++i) {
+    if (parcel_olt[i] <= dir_olt[i] / 3.0) ++third_or_less;
+  }
+  std::printf("\nmedian OLT: PARCEL(512K) %.2fs (paper <2.5s), DIR %.2fs "
+              "(paper ~6s)\n",
+              util::median(parcel_olt), util::median(dir_olt));
+  std::printf("PARCEL OLT <= 1/3 of DIR on %.0f%% of pages (paper 50%%)\n",
+              100.0 * third_or_less / static_cast<double>(dir_olt.size()));
+  return 0;
+}

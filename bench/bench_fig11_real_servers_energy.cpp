@@ -1,0 +1,43 @@
+// Fig 11: total radio energy with real web servers (§8.4), live mode,
+// PARCEL(512K) vs DIR.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 11",
+                      "radio energy with real web servers (live mode)");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::live_run_config(111);
+
+  std::vector<double> dir_j, parcel_j;
+  for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
+    util::Summary dir_s, parcel_s;
+    for (int r = 0; r < opts.rounds; ++r) {
+      core::RunConfig run_cfg = cfg;
+      run_cfg.seed = cfg.seed + 223ULL * p + 19ULL * r;
+      run_cfg.testbed.fade_seed = run_cfg.seed * 5 + 1;
+      auto dir = core::ExperimentRunner::run(core::Scheme::kDir,
+                                             *corpus.live_pages[p], run_cfg);
+      auto parcel = core::ExperimentRunner::run(
+          core::Scheme::kParcel512K, *corpus.live_pages[p], run_cfg);
+      dir_s.add(dir.radio.total.j());
+      parcel_s.add(parcel.radio.total.j());
+    }
+    dir_j.push_back(dir_s.median());
+    parcel_j.push_back(parcel_s.median());
+  }
+
+  bench::print_cdf("PARCEL(512K) radio energy (J)", parcel_j);
+  bench::print_cdf("DIR radio energy (J)", dir_j);
+
+  std::printf("\nmax PARCEL energy: %.1f J (paper: all pages < 6.5 J)\n",
+              util::percentile(parcel_j, 100));
+  std::printf("median: PARCEL %.2f J vs DIR %.2f J\n",
+              util::median(parcel_j), util::median(dir_j));
+  std::printf("paper: PARCEL(512K) consistently below DIR; ~40%% of DIR\n"
+              "pages consume significantly more.\n");
+  return 0;
+}

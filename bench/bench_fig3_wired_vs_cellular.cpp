@@ -1,0 +1,30 @@
+// Fig 3: CDF of median OLT for the corpus downloaded by a traditional
+// browser over LTE vs over a wired network.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 3", "median OLT CDF: cellular vs wired (DIR)");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+
+  core::RunConfig cellular = bench::replay_run_config(1);
+  core::RunConfig wired = cellular;
+  wired.testbed = bench::wired_testbed_config();
+
+  bench::PageMedians cell =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cellular);
+  bench::PageMedians wire =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, wired);
+
+  bench::print_cdf("Cellular download OLT (s)", cell.olt_sec);
+  bench::print_cdf("Wired download OLT (s)", wire.olt_sec);
+
+  double ratio = util::median(cell.olt_sec) / util::median(wire.olt_sec);
+  std::printf("\nmedian cellular OLT = %.2fs, wired = %.2fs (%.1fx)\n",
+              util::median(cell.olt_sec), util::median(wire.olt_sec), ratio);
+  std::printf("paper: cellular median >6s vs wired 1.1s (~5.5x)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 6b: CDF of per-page median OLT and TLT for PARCEL(IND) vs DIR.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 6b",
+                      "per-page median latency CDFs: PARCEL(IND) vs DIR");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(21);
+
+  bench::PageMedians dir =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+  bench::PageMedians ind =
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+
+  bench::print_cdf("PARCEL OLT (s)", ind.olt_sec);
+  bench::print_cdf("PARCEL TLT (s)", ind.tlt_sec);
+  bench::print_cdf("DIR OLT (s)", dir.olt_sec);
+  bench::print_cdf("DIR TLT (s)", dir.tlt_sec);
+
+  // The paper's Fig 6b headline shapes.
+  int ind_olt_under_3 = 0, dir_olt_under_3 = 0;
+  int olt_reduced_1s = 0, olt_reduced_5s = 0, tlt_reduced_5s = 0;
+  for (std::size_t i = 0; i < ind.olt_sec.size(); ++i) {
+    if (ind.olt_sec[i] < 3.0) ++ind_olt_under_3;
+    if (dir.olt_sec[i] < 3.0) ++dir_olt_under_3;
+    if (dir.olt_sec[i] - ind.olt_sec[i] > 1.0) ++olt_reduced_1s;
+    if (dir.olt_sec[i] - ind.olt_sec[i] > 5.0) ++olt_reduced_5s;
+    if (dir.tlt_sec[i] - ind.tlt_sec[i] > 5.0) ++tlt_reduced_5s;
+  }
+  auto pct = [&](int n) {
+    return 100.0 * n / static_cast<double>(ind.olt_sec.size());
+  };
+  std::printf("\npages with OLT < 3s: PARCEL %.0f%% (paper 70%%), DIR %.0f%% (paper 10%%)\n",
+              pct(ind_olt_under_3), pct(dir_olt_under_3));
+  std::printf("OLT reduced by >1s for %.0f%% of pages (paper 90%%)\n",
+              pct(olt_reduced_1s));
+  std::printf("OLT reduced by >5s for %.0f%% of pages (paper 60%%)\n",
+              pct(olt_reduced_5s));
+  std::printf("TLT reduced by >5s for %.0f%% of pages (paper 80%%)\n",
+              pct(tlt_reduced_5s));
+  std::printf("mean OLT reduction: %.1f%% (paper headline 49.6%%)\n",
+              100.0 * (1.0 - util::mean(ind.olt_sec) / util::mean(dir.olt_sec)));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig 6c: scatter of per-page median total-latency reduction vs the
+// number of HTTP requests DIR issues (paper: correlation 0.83).
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 6c",
+                      "TLT reduction vs number of HTTP requests");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(33);
+
+  bench::PageMedians dir =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+  bench::PageMedians ind =
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+
+  std::vector<double> requests, reduction;
+  std::printf("%12s %22s\n", "#requests", "TLT reduction (s)");
+  for (std::size_t i = 0; i < dir.requests.size(); ++i) {
+    requests.push_back(dir.requests[i]);
+    reduction.push_back(dir.tlt_sec[i] - ind.tlt_sec[i]);
+    std::printf("%12.0f %22.2f\n", requests.back(), reduction.back());
+  }
+  double rho = util::pearson_correlation(requests, reduction);
+  std::printf("\nPearson correlation: %.2f (paper: 0.83)\n", rho);
+  std::printf("richer pages (more requests) benefit more from PARCEL.\n");
+  return 0;
+}

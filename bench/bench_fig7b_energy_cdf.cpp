@@ -1,0 +1,37 @@
+// Fig 7b: CDF of per-page median total radio energy, PARCEL(IND) vs DIR.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 7b",
+                      "per-page median radio energy CDFs: PARCEL vs DIR");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(41);
+
+  bench::PageMedians dir =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+  bench::PageMedians ind =
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+
+  bench::print_cdf("PARCEL total radio energy (J)", ind.radio_j);
+  bench::print_cdf("DIR total radio energy (J)", dir.radio_j);
+
+  int ind_under_4 = 0, dir_under_4 = 0;
+  for (std::size_t i = 0; i < ind.radio_j.size(); ++i) {
+    if (ind.radio_j[i] < 4.0) ++ind_under_4;
+    if (dir.radio_j[i] < 4.0) ++dir_under_4;
+  }
+  auto pct = [&](int n) {
+    return 100.0 * n / static_cast<double>(ind.radio_j.size());
+  };
+  std::printf("\npages under 4 J: PARCEL %.0f%% (paper ~80%% under 4 J),"
+              " DIR %.0f%% (paper 38%%)\n",
+              pct(ind_under_4), pct(dir_under_4));
+  std::printf("max energy: PARCEL %.1f J (paper 8 J), DIR %.1f J (paper 13 J)\n",
+              util::percentile(ind.radio_j, 100),
+              util::percentile(dir.radio_j, 100));
+  return 0;
+}

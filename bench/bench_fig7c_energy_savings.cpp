@@ -1,0 +1,49 @@
+// Fig 7c: per-page radio energy savings of PARCEL vs DIR, total and the
+// CR-state share of those savings.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 7c",
+                      "fraction of DIR radio energy saved by PARCEL, per page");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(43);
+
+  bench::PageMedians dir =
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+  bench::PageMedians ind =
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+
+  std::vector<double> total_savings, cr_share;
+  std::printf("%6s %14s %18s %18s\n", "page", "size(MB)", "total saved(%)",
+              "CR share of saved(%)");
+  for (std::size_t i = 0; i < dir.radio_j.size(); ++i) {
+    double saved = (dir.radio_j[i] - ind.radio_j[i]) / dir.radio_j[i];
+    double cr_saved = (dir.cr_j[i] - ind.cr_j[i]) / dir.radio_j[i];
+    total_savings.push_back(saved * 100);
+    cr_share.push_back(saved > 0 ? cr_saved / saved * 100 : 0);
+    std::printf("%6zu %14.2f %18.1f %18.1f\n", i,
+                dir.page_bytes[i] / 1048576.0, total_savings.back(),
+                cr_share.back());
+  }
+
+  int saved_20 = 0, saved_50 = 0, cr_half = 0;
+  for (std::size_t i = 0; i < total_savings.size(); ++i) {
+    if (total_savings[i] >= 20) ++saved_20;
+    if (total_savings[i] >= 50) ++saved_50;
+    if (cr_share[i] >= 50) ++cr_half;
+  }
+  auto pct = [&](int n) {
+    return 100.0 * n / static_cast<double>(total_savings.size());
+  };
+  std::printf("\n>=20%% savings on %.0f%% of pages (paper 95%%)\n", pct(saved_20));
+  std::printf(">=50%% savings on %.0f%% of pages (paper 50%%)\n", pct(saved_50));
+  std::printf("CR accounts for >=50%% of savings on %.0f%% of pages (paper 85%%)\n",
+              pct(cr_half));
+  std::printf("mean radio energy reduction: %.1f%% (paper headline 65%%)\n",
+              100.0 * (1.0 - util::mean(ind.radio_j) / util::mean(dir.radio_j)));
+  return 0;
+}

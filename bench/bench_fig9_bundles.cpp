@@ -1,0 +1,82 @@
+// Fig 9a/9b/9c: PARCEL bundling variants (512K / 1M / 2M / ONLD) against
+// PARCEL(IND): OLT increase CDF, radio energy increase CDF, and the
+// page-size vs energy-delta scatter for 512K.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Figure 9",
+                      "bundling variants vs PARCEL(IND): latency & energy");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(91);
+
+  bench::PageMedians ind =
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+
+  struct Variant {
+    core::Scheme scheme;
+    const char* name;
+    bench::PageMedians medians;
+  };
+  std::vector<Variant> variants{
+      {core::Scheme::kParcel512K, "PARCEL(512K)", {}},
+      {core::Scheme::kParcel1M, "PARCEL(1M)", {}},
+      {core::Scheme::kParcel2M, "PARCEL(2M)", {}},
+      {core::Scheme::kParcelOnld, "PARCEL(ONLD)", {}},
+  };
+  for (auto& v : variants) {
+    v.medians = bench::run_corpus(v.scheme, corpus, opts.rounds, cfg);
+  }
+
+  std::printf("\n--- Fig 9a: OLT increase vs IND (s) ---\n");
+  for (const auto& v : variants) {
+    std::vector<double> delta;
+    for (std::size_t i = 0; i < ind.olt_sec.size(); ++i) {
+      delta.push_back(v.medians.olt_sec[i] - ind.olt_sec[i]);
+    }
+    std::printf("%-14s median %+.2fs  p90 %+.2fs\n", v.name,
+                util::median(delta), util::percentile(delta, 90));
+  }
+  std::printf("paper: increase grows with bundle size; ONLD worst "
+              "(median +0.57s), 512K mildest (+0.11s).\n");
+
+  std::printf("\n--- Fig 9b: radio energy increase vs IND (J) ---\n");
+  for (const auto& v : variants) {
+    std::vector<double> delta;
+    int helped = 0;
+    for (std::size_t i = 0; i < ind.radio_j.size(); ++i) {
+      delta.push_back(v.medians.radio_j[i] - ind.radio_j[i]);
+      if (delta.back() < 0) ++helped;
+    }
+    std::printf("%-14s median %+.2fJ  helps on %.0f%% of pages\n", v.name,
+                util::median(delta),
+                100.0 * helped / static_cast<double>(delta.size()));
+  }
+  std::printf("paper: no single bundle size wins everywhere; 512K lowers "
+              "energy on ~60%% of pages.\n");
+
+  std::printf("\n--- Fig 9c: page size vs energy delta, PARCEL(512K) ---\n");
+  std::printf("%14s %22s\n", "size (MB)", "energy delta (J)");
+  const auto& x512 = variants[0].medians;
+  std::vector<double> big_deltas, small_deltas;
+  for (std::size_t i = 0; i < ind.radio_j.size(); ++i) {
+    double mb = ind.page_bytes[i] / 1048576.0;
+    double delta = x512.radio_j[i] - ind.radio_j[i];
+    std::printf("%14.2f %22.2f\n", mb, delta);
+    (mb > 2.0 ? big_deltas : small_deltas).push_back(delta);
+  }
+  if (!big_deltas.empty()) {
+    std::printf("\nmean delta, pages > 2 MB: %+.2f J (paper: bundling helps "
+                "large pages)\n",
+                util::mean(big_deltas));
+  }
+  if (!small_deltas.empty()) {
+    std::printf("mean delta, pages < 2 MB: %+.2f J (paper: small pages show "
+                "no clear trend)\n",
+                util::mean(small_deltas));
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Headline numbers (abstract/§8): average OLT reduction (paper 49.6%) and
+// average radio energy reduction (paper 65%) of PARCEL(IND) vs DIR across
+// the corpus, plus the relative standings of every scheme.
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Headline summary",
+                      "PARCEL vs DIR across the evaluation corpus");
+
+  bench::Corpus corpus = bench::build_corpus(opts.pages);
+  core::RunConfig cfg = bench::replay_run_config(201);
+
+  const core::Scheme schemes[] = {
+      core::Scheme::kDir,        core::Scheme::kHttpProxy,
+      core::Scheme::kSpdyProxy,  core::Scheme::kParcelInd,
+      core::Scheme::kParcel512K, core::Scheme::kParcel1M,
+      core::Scheme::kParcelOnld, core::Scheme::kCloudBrowser,
+  };
+  std::map<core::Scheme, bench::PageMedians> results;
+  for (core::Scheme s : schemes) {
+    results[s] = bench::run_corpus(s, corpus, opts.rounds, cfg);
+  }
+
+  std::printf("%-14s %10s %10s %12s %10s\n", "scheme", "med OLT", "med TLT",
+              "med radio", "mean radio");
+  for (core::Scheme s : schemes) {
+    const auto& m = results[s];
+    std::printf("%-14s %9.2fs %9.2fs %11.2fJ %9.2fJ\n",
+                core::to_string(s).c_str(), util::median(m.olt_sec),
+                util::median(m.tlt_sec), util::median(m.radio_j),
+                util::mean(m.radio_j));
+  }
+
+  const auto& dir = results[core::Scheme::kDir];
+  const auto& ind = results[core::Scheme::kParcelInd];
+  std::vector<double> olt_red, j_red;
+  for (std::size_t i = 0; i < dir.olt_sec.size(); ++i) {
+    olt_red.push_back(100.0 * (1 - ind.olt_sec[i] / dir.olt_sec[i]));
+    j_red.push_back(100.0 * (1 - ind.radio_j[i] / dir.radio_j[i]));
+  }
+  std::printf("\nper-page OLT reduction: mean %.1f%%, median %.1f%% "
+              "(paper headline: 49.6%%)\n",
+              util::mean(olt_red), util::median(olt_red));
+  std::printf("per-page radio energy reduction: mean %.1f%%, median %.1f%% "
+              "(paper headline: 65%%)\n",
+              util::mean(j_red), util::median(j_red));
+  std::printf("\nNOTE: absolute joules/seconds are properties of the\n"
+              "simulated substrate; the reproduction targets are the\n"
+              "orderings and rough factors (see EXPERIMENTS.md).\n");
+  return 0;
+}

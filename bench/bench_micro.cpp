@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: the
+// parsers the proxy runs per page, the MHTML codec on the push path, the
+// event kernel, and the trace energy analyzer.
+#include <benchmark/benchmark.h>
+
+#include "lte/energy.hpp"
+#include "sim/scheduler.hpp"
+#include "web/css.hpp"
+#include "web/generator.hpp"
+#include "web/html.hpp"
+#include "web/js.hpp"
+#include "web/mhtml.hpp"
+
+namespace {
+
+using namespace parcel;
+
+const web::WebPage& bench_page() {
+  static web::WebPage page = [] {
+    web::PageSpec spec;
+    spec.object_count = 120;
+    spec.total_bytes = util::mib(1.5);
+    spec.seed = 77;
+    return web::PageGenerator::generate(spec);
+  }();
+  return page;
+}
+
+void BM_MiniHtmlScan(benchmark::State& state) {
+  const std::string& html = bench_page().main().text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::MiniHtml::scan(html));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_MiniHtmlScan);
+
+void BM_MiniJsRun(benchmark::State& state) {
+  std::string js;
+  for (const web::WebObject* obj : bench_page().objects()) {
+    if (obj->type == web::ObjectType::kJs) {
+      js = obj->text();
+      break;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::MiniJs::run(js));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(js.size()));
+}
+BENCHMARK(BM_MiniJsRun);
+
+void BM_MiniCssScan(benchmark::State& state) {
+  std::string css;
+  for (const web::WebObject* obj : bench_page().objects()) {
+    if (obj->type == web::ObjectType::kCss) {
+      css = obj->text();
+      break;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::MiniCss::scan(css));
+  }
+}
+BENCHMARK(BM_MiniCssScan);
+
+void BM_PageGeneration(benchmark::State& state) {
+  web::PageSpec spec;
+  spec.object_count = static_cast<int>(state.range(0));
+  spec.total_bytes = util::mib(1);
+  spec.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::PageGenerator::generate(spec));
+  }
+}
+BENCHMARK(BM_PageGeneration)->Arg(40)->Arg(120)->Arg(400);
+
+void BM_MhtmlRoundTrip(benchmark::State& state) {
+  web::MhtmlWriter writer;
+  int added = 0;
+  for (const web::WebObject* obj : bench_page().objects()) {
+    writer.add(*obj);
+    if (++added >= 40) break;
+  }
+  for (auto _ : state) {
+    std::string wire = writer.serialize();
+    benchmark::DoNotOptimize(web::MhtmlReader::parse(wire));
+  }
+}
+BENCHMARK(BM_MhtmlRoundTrip);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int remaining = 10'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) {
+        sched.schedule_after(util::Duration::micros(10), tick);
+      }
+    };
+    sched.schedule_at(util::TimePoint::origin(), tick);
+    sched.run();
+    benchmark::DoNotOptimize(sched.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_EnergyAnalyzer(benchmark::State& state) {
+  trace::PacketTrace trace;
+  util::Rng rng(5);
+  double t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.exponential(0.05);
+    trace.record(trace::PacketRecord{util::TimePoint::at_seconds(t),
+                                     trace::Direction::kDownlink,
+                                     trace::PacketKind::kData, 1448, 1, 1});
+  }
+  lte::EnergyAnalyzer analyzer{lte::RrcConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(trace, true));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_EnergyAnalyzer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table 1: PARCEL vs existing approaches — measured counterpart.
+// The paper's table is qualitative; we print the qualitative rows plus
+// the measured quantities that back them (TCP connections and HTTP
+// requests crossing the radio, per page load).
+#include "bench/common.hpp"
+
+using namespace parcel;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Table 1", "PARCEL vs existing approaches");
+
+  bench::Corpus corpus = bench::build_corpus(std::min(opts.pages, 8));
+  core::RunConfig cfg = bench::replay_run_config(3);
+
+  struct Row {
+    const char* name;
+    core::Scheme scheme;
+    const char* object_id;
+    const char* interactive_js;
+    const char* cellular_friendly;
+  };
+  const Row rows[] = {
+      {"DIR (no proxy)", core::Scheme::kDir, "client", "client", "no"},
+      {"HTTP proxies [9]", core::Scheme::kHttpProxy, "client", "client",
+       "no"},
+      {"SPDY proxies [5,16]", core::Scheme::kSpdyProxy, "client", "client",
+       "no"},
+      {"Cloud browsers [6,8]", core::Scheme::kCloudBrowser, "proxy", "proxy",
+       "no"},
+      {"PARCEL", core::Scheme::kParcelInd, "proxy", "client", "yes"},
+  };
+
+  std::printf("%-22s %10s %12s %10s %12s %10s\n", "scheme", "tcp-conns",
+              "http-reqs", "obj-ident", "interactJS", "cell-frndly");
+  for (const Row& row : rows) {
+    util::Summary conns, reqs;
+    for (const web::WebPage* page : corpus.replayed) {
+      core::RunResult r = core::ExperimentRunner::run(row.scheme, *page, cfg);
+      conns.add(static_cast<double>(r.tcp_connections));
+      reqs.add(static_cast<double>(r.radio_http_requests));
+    }
+    std::printf("%-22s %10.0f %12.0f %10s %10s %12s\n", row.name,
+                conns.median(), reqs.median(), row.object_id,
+                row.interactive_js, row.cellular_friendly);
+  }
+  std::printf("\npaper: PARCEL = single connection, single request, proxy\n"
+              "identification, client JS, cellular-friendly transfer.\n");
+  return 0;
+}

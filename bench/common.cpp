@@ -1,0 +1,109 @@
+#include "bench/common.hpp"
+
+#include <cstring>
+
+namespace parcel::bench {
+
+Corpus build_corpus(int pages, std::uint64_t seed) {
+  Corpus corpus;
+  web::PageGenerator gen(seed);
+  corpus.specs = gen.corpus_specs(pages);
+  for (const auto& spec : corpus.specs) {
+    corpus.live_pages.push_back(
+        std::make_unique<web::WebPage>(web::PageGenerator::generate(spec)));
+    corpus.store.record(*corpus.live_pages.back());
+    corpus.replayed.push_back(
+        corpus.store.find(corpus.live_pages.back()->main_url().str()));
+  }
+  return corpus;
+}
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pages") == 0 && i + 1 < argc) {
+      opts.pages = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      opts.rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+      opts.pages = 10;
+      opts.rounds = 1;
+    }
+  }
+  return opts;
+}
+
+core::RunConfig replay_run_config(std::uint64_t seed) {
+  core::RunConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+core::RunConfig live_run_config(std::uint64_t seed) {
+  core::RunConfig cfg;
+  cfg.seed = seed;
+  cfg.testbed.heterogeneous_server_delays = true;
+  cfg.testbed.topology_seed = seed * 31 + 7;
+  cfg.testbed.fade = lte::FadeProcess::Params{};
+  cfg.testbed.fade_seed = seed * 97 + 13;
+  return cfg;
+}
+
+core::TestbedConfig wired_testbed_config() {
+  core::TestbedConfig cfg;
+  cfg.radio.uplink_rate = util::BitRate::mbps(40);
+  cfg.radio.downlink_rate = util::BitRate::mbps(40);
+  cfg.radio.one_way_delay = util::Duration::millis(5);
+  // Fixed access: no promotion latencies, no DRX machinery to speak of.
+  cfg.radio.rrc.promo_from_idle = util::Duration::zero();
+  cfg.radio.rrc.promo_from_short_drx = util::Duration::zero();
+  cfg.radio.rrc.promo_from_long_drx = util::Duration::zero();
+  return cfg;
+}
+
+PageMedians run_corpus(core::Scheme scheme, const Corpus& corpus, int rounds,
+                       const core::RunConfig& base) {
+  PageMedians out;
+  for (std::size_t p = 0; p < corpus.replayed.size(); ++p) {
+    util::Summary olt, tlt, radio, cr, reqs;
+    for (int r = 0; r < rounds; ++r) {
+      core::RunConfig cfg = base;
+      cfg.seed = base.seed + 101ULL * p + 13ULL * r + 1;
+      if (cfg.testbed.fade) {
+        cfg.testbed.fade_seed = cfg.seed * 7 + 3;
+      }
+      core::RunResult result =
+          core::ExperimentRunner::run(scheme, *corpus.replayed[p], cfg);
+      olt.add(result.olt.sec());
+      tlt.add(result.tlt.sec());
+      radio.add(result.radio.total.j());
+      cr.add(result.radio.cr.j());
+      reqs.add(static_cast<double>(result.radio_http_requests));
+    }
+    out.olt_sec.push_back(olt.median());
+    out.tlt_sec.push_back(tlt.median());
+    out.radio_j.push_back(radio.median());
+    out.cr_j.push_back(cr.median());
+    out.requests.push_back(reqs.median());
+    out.page_bytes.push_back(
+        static_cast<double>(corpus.replayed[p]->total_bytes()));
+  }
+  return out;
+}
+
+void print_header(const char* figure, const char* caption) {
+  std::printf("\n==================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("==================================================\n");
+}
+
+void print_cdf(const char* label, const std::vector<double>& samples) {
+  util::Cdf cdf(samples);
+  std::printf("-- CDF: %s  (n=%zu, p10=%.2f p50=%.2f p90=%.2f max=%.2f)\n",
+              label, cdf.size(), cdf.quantile(0.10), cdf.quantile(0.50),
+              cdf.quantile(0.90), cdf.sorted_samples().back());
+  std::printf("%s", cdf.to_table(16).c_str());
+}
+
+}  // namespace parcel::bench

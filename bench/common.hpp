@@ -1,0 +1,66 @@
+// Shared machinery for the figure/table reproduction benches: the 34-page
+// replayed corpus (§7.2-7.3), run helpers, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "replay/replay_store.hpp"
+#include "util/stats.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::bench {
+
+struct Corpus {
+  std::vector<web::PageSpec> specs;
+  std::vector<std::unique_ptr<web::WebPage>> live_pages;
+  replay::ReplayStore store;
+  std::vector<const web::WebPage*> replayed;  // normalized snapshots
+};
+
+/// Build the evaluation corpus: `pages` sites drawn from the paper's
+/// distributions, recorded through the replay store.
+Corpus build_corpus(int pages, std::uint64_t seed = 2014);
+
+struct BenchOptions {
+  int pages = 34;   // paper's page count
+  int rounds = 3;   // kept small for bench runtime; raise via --rounds
+  bool quick = false;
+};
+
+/// Parse --pages N / --rounds N / --quick from argv.
+BenchOptions parse_options(int argc, char** argv);
+
+/// Default controlled-replay run configuration (§7.2: no fading in the
+/// controlled comparisons; variability handled by seeds).
+core::RunConfig replay_run_config(std::uint64_t seed);
+
+/// §8.4 live configuration: heterogeneous server delays + signal fading.
+core::RunConfig live_run_config(std::uint64_t seed);
+
+/// Fig 3's wired baseline: replace the LTE access with a fast fixed link
+/// (no promotions, negligible tail).
+core::TestbedConfig wired_testbed_config();
+
+/// Run `scheme` across the corpus with `rounds` per page (distinct
+/// seeds), returning per-page median metrics.
+struct PageMedians {
+  std::vector<double> olt_sec;
+  std::vector<double> tlt_sec;
+  std::vector<double> radio_j;
+  std::vector<double> cr_j;
+  std::vector<double> requests;
+  std::vector<double> page_bytes;
+};
+
+PageMedians run_corpus(core::Scheme scheme, const Corpus& corpus, int rounds,
+                       const core::RunConfig& base);
+
+void print_header(const char* figure, const char* caption);
+void print_cdf(const char* label, const std::vector<double>& samples);
+
+}  // namespace parcel::bench

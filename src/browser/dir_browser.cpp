@@ -1,0 +1,103 @@
+#include "browser/dir_browser.hpp"
+
+#include "util/strings.hpp"
+
+namespace parcel::browser {
+
+FetchResult to_fetch_result(const net::HttpResponse& response,
+                            web::ObjectType hint) {
+  FetchResult r;
+  r.url = response.url;
+  r.status = response.status;
+  r.size = response.body_bytes;
+  r.content = response.content;
+  web::ObjectType mime_based = web::type_from_mime(response.content_type);
+  bool both_js = (mime_based == web::ObjectType::kJs ||
+                  mime_based == web::ObjectType::kJsAsync) &&
+                 (hint == web::ObjectType::kJs ||
+                  hint == web::ObjectType::kJsAsync);
+  r.type = both_js ? hint : mime_based;
+  return r;
+}
+
+NetworkFetcher::NetworkFetcher(net::Network& network,
+                               const std::string& vantage, DirConfig config,
+                               util::Rng rng)
+    : network_(network),
+      rng_(rng.fork()),
+      dns_(network.scheduler(), network.route(vantage, "dns"),
+           config.dns_latency, rng.fork(),
+           [&network] { return network.next_conn_id(); }),
+      pool_(
+          network.scheduler(),
+          [&network, vantage](const std::string& domain) {
+            return network.route(vantage, domain);
+          },
+          [&network](const std::string& domain) {
+            return network.endpoint(domain);
+          },
+          [&network] { return network.next_conn_id(); }, config.tcp,
+          config.max_conns_per_domain, config.max_total_connections) {}
+
+void NetworkFetcher::fetch(const net::Url& url, web::ObjectType hint,
+                           bool randomized, std::uint32_t object_id,
+                           std::function<void(FetchResult)> on_result) {
+  net::Url final_url = url;
+  if (randomized) {
+    final_url = net::Url::parse(
+        url.str() + (url.query().empty() ? "?r=" : "&r=") +
+        std::to_string(rng_.uniform_int(100000, 999999)));
+  }
+  dns_.resolve(final_url.host(), [this, final_url, hint, object_id,
+                                  on_result = std::move(on_result)] {
+    net::HttpRequest request;
+    request.url = final_url;
+    pool_.fetch(std::move(request), object_id,
+                [hint, on_result](const net::HttpResponse& response) {
+                  on_result(to_fetch_result(response, hint));
+                });
+  });
+}
+
+void NetworkFetcher::post(
+    const net::Url& url, util::Bytes body_bytes,
+    std::function<void(const net::HttpResponse&)> on_response) {
+  dns_.resolve(url.host(), [this, url, body_bytes,
+                            on_response = std::move(on_response)] {
+    net::HttpRequest request;
+    request.method = net::HttpMethod::kPost;
+    request.url = url;
+    request.body_bytes = body_bytes;
+    pool_.fetch(std::move(request), /*object_id=*/0, on_response);
+  });
+}
+
+DirBrowser::DirBrowser(net::Network& network, DirConfig config, util::Rng rng)
+    : network_(network),
+      config_(config),
+      engine_rng_(rng.fork()),
+      fetcher_(std::make_unique<NetworkFetcher>(network, "client", config,
+                                                rng.fork())),
+      engine_(std::make_unique<BrowserEngine>(network.scheduler(), *fetcher_,
+                                              config.engine,
+                                              engine_rng_.fork(), "dir")) {}
+
+void DirBrowser::load(const net::Url& url,
+                      BrowserEngine::Callbacks callbacks) {
+  if (engine_->completed() ||
+      (engine_->ledger().count() > 0 && engine_->onload_fired())) {
+    // Next page of the session: new engine, warm device cache.
+    retired_engines_.push_back(std::move(engine_));
+    engine_ = std::make_unique<BrowserEngine>(
+        network_.scheduler(), *fetcher_, config_.engine, engine_rng_.fork(),
+        "dir");
+    engine_->preload_cache(retired_engines_.back()->cache());
+  }
+  engine_->load(url, std::move(callbacks));
+}
+
+void DirBrowser::click(int index, std::function<void()> on_done) {
+  engine_->click(index, std::move(on_done));
+}
+
+}  // namespace parcel::browser

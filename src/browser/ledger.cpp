@@ -1,0 +1,67 @@
+#include "browser/ledger.hpp"
+
+#include <stdexcept>
+
+namespace parcel::browser {
+
+std::uint32_t ObjectLedger::register_object(const net::Url& url,
+                                            web::ObjectType type,
+                                            bool blocking,
+                                            util::TimePoint now) {
+  LedgerEntry e;
+  e.id = static_cast<std::uint32_t>(entries_.size()) + 1;
+  e.url = url;
+  e.type = type;
+  e.blocking = blocking;
+  e.requested_at = now;
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+void ObjectLedger::complete(std::uint32_t id, util::Bytes size,
+                            util::TimePoint now, bool failed) {
+  if (id == 0 || id > entries_.size()) {
+    throw std::out_of_range("ObjectLedger::complete: bad id");
+  }
+  LedgerEntry& e = entries_[id - 1];
+  if (e.completed) {
+    throw std::logic_error("ObjectLedger::complete: already completed: " +
+                           e.url.str());
+  }
+  e.completed = true;
+  e.failed = failed;
+  e.size = size;
+  e.completed_at = now;
+}
+
+const LedgerEntry& ObjectLedger::entry(std::uint32_t id) const {
+  if (id == 0 || id > entries_.size()) {
+    throw std::out_of_range("ObjectLedger::entry: bad id");
+  }
+  return entries_[id - 1];
+}
+
+std::vector<std::uint32_t> ObjectLedger::onload_ids() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& e : entries_) {
+    if (e.blocking) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ObjectLedger::all_ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.id);
+  return out;
+}
+
+util::Bytes ObjectLedger::completed_bytes() const {
+  util::Bytes n = 0;
+  for (const auto& e : entries_) {
+    if (e.completed && !e.failed) n += e.size;
+  }
+  return n;
+}
+
+}  // namespace parcel::browser

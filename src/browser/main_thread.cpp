@@ -1,0 +1,33 @@
+#include "browser/main_thread.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace parcel::browser {
+
+void MainThread::post(Duration cost, bool blocking,
+                      std::function<void()> done) {
+  if (!done) throw std::invalid_argument("MainThread::post: empty task");
+  if (cost < Duration::zero()) {
+    throw std::invalid_argument("MainThread::post: negative cost");
+  }
+  if (blocking) ++pending_blocking_;
+  queue_.push_back(Task{cost, blocking, std::move(done)});
+  pump();
+}
+
+void MainThread::pump() {
+  if (running_ || queue_.empty()) return;
+  running_ = true;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  busy_total_ += task.cost;
+  sched_.schedule_after(task.cost, [this, task = std::move(task)]() mutable {
+    running_ = false;
+    if (task.blocking) --pending_blocking_;
+    task.done();
+    pump();
+  });
+}
+
+}  // namespace parcel::browser

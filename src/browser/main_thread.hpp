@@ -1,0 +1,51 @@
+// MainThread: the browser's single JS/parser thread as a serialized task
+// queue with simulated cost. Mobile CPUs are slow relative to the proxy
+// (the paper's split exists because of this asymmetry), so parse and
+// execute costs are first-class simulation time here, and double as the
+// CPU-energy busy time for the §8.2 total-device-energy comparison.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace parcel::browser {
+
+using util::Duration;
+using util::TimePoint;
+
+class MainThread {
+ public:
+  explicit MainThread(sim::Scheduler& sched) : sched_(sched) {}
+
+  /// Run `done` after occupying the thread for `cost`. Tasks run FIFO.
+  /// `blocking` marks work that must finish before onload (sync script
+  /// execution, parsing); the engine's onload check consults the count.
+  void post(Duration cost, bool blocking, std::function<void()> done);
+
+  [[nodiscard]] bool idle() const { return !running_ && queue_.empty(); }
+  [[nodiscard]] std::size_t pending_blocking() const {
+    return pending_blocking_;
+  }
+  [[nodiscard]] Duration busy_total() const { return busy_total_; }
+
+ private:
+  struct Task {
+    Duration cost;
+    bool blocking;
+    std::function<void()> done;
+  };
+
+  void pump();
+
+  sim::Scheduler& sched_;
+  std::deque<Task> queue_;
+  bool running_ = false;
+  std::size_t pending_blocking_ = 0;
+  Duration busy_total_ = Duration::zero();
+};
+
+}  // namespace parcel::browser

@@ -1,0 +1,53 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parcel::core {
+
+AnalyticalModel::AnalyticalModel(ModelParams params) : params_(params) {
+  if (params_.download_bytes_per_sec <= 0 || params_.onload_bytes <= 0) {
+    throw std::invalid_argument("AnalyticalModel: s and B must be positive");
+  }
+}
+
+Duration AnalyticalModel::ldrx_time(double n) const {
+  const auto& rrc = params_.rrc;
+  double transfer = static_cast<double>(params_.onload_bytes) /
+                    params_.download_bytes_per_sec;
+  double dl = params_.proxy_onload.sec() - (n - 1.0) / n * transfer -
+              (n - 1.0) * (rrc.cr_tail.sec() + rrc.short_drx.sec());
+  if (dl < 0.0) dl = 0.0;
+  return Duration::seconds(dl);
+}
+
+Energy AnalyticalModel::energy(double n) const {
+  const auto& rrc = params_.rrc;
+  double transfer = static_cast<double>(params_.onload_bytes) /
+                    params_.download_bytes_per_sec;
+  double e = rrc.p_long_drx.w() * ldrx_time(n).sec() +
+             (n - 1.0) * (rrc.p_cr.w() * rrc.cr_tail.sec() +
+                          rrc.p_short_drx.w() * rrc.short_drx.sec()) +
+             rrc.p_cr.w() * transfer;
+  return Energy::joules(e);
+}
+
+Duration AnalyticalModel::onload_time(double n) const {
+  double transfer = static_cast<double>(params_.onload_bytes) /
+                    params_.download_bytes_per_sec;
+  return params_.proxy_onload + Duration::seconds(transfer / n);
+}
+
+double AnalyticalModel::optimal_bundle_count() const {
+  double b_over_s = static_cast<double>(params_.onload_bytes) /
+                    params_.download_bytes_per_sec;
+  return std::sqrt(b_over_s) / alpha();
+}
+
+Bytes AnalyticalModel::optimal_bundle_bytes() const {
+  return static_cast<Bytes>(
+      alpha() * std::sqrt(params_.download_bytes_per_sec *
+                          static_cast<double>(params_.onload_bytes)));
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,72 @@
+// BundleScheduler: PARCEL's cellular-friendly transfer policies (§4.4).
+//
+//   IND      — forward each object to the client the moment the proxy
+//              receives it (minimizes OLT; Fig 5b).
+//   ONLD     — hold everything until the proxy's onload event, send one
+//              batch; post-onload stragglers go in a final batch at page
+//              completion (maximizes radio sleep; Fig 5c).
+//   PARCEL(X)— flush whenever X bytes have accumulated, or at onload,
+//              or at completion (the latency/energy dial; Fig 5d).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "browser/fetcher.hpp"
+#include "util/units.hpp"
+#include "web/mhtml.hpp"
+
+namespace parcel::core {
+
+using util::Bytes;
+
+enum class BundlePolicy : std::uint8_t { kInd, kOnload, kThreshold };
+
+[[nodiscard]] std::string_view to_string(BundlePolicy p);
+
+struct BundleConfig {
+  BundlePolicy policy = BundlePolicy::kInd;
+  Bytes threshold = util::kib(512);  // used by kThreshold
+
+  static BundleConfig ind() { return {BundlePolicy::kInd, 0}; }
+  static BundleConfig onload() { return {BundlePolicy::kOnload, 0}; }
+  static BundleConfig with_threshold(Bytes x) {
+    return {BundlePolicy::kThreshold, x};
+  }
+
+  [[nodiscard]] std::string name() const;
+};
+
+class BundleScheduler {
+ public:
+  /// `sink` receives each flushed bundle (already framed as MHTML parts).
+  using Sink = std::function<void(web::MhtmlWriter bundle)>;
+
+  BundleScheduler(BundleConfig config, Sink sink);
+
+  /// The proxy intercepted one origin response.
+  void on_object(const net::Url& url, web::ObjectType type, Bytes size,
+                 std::shared_ptr<const std::string> content);
+
+  /// The proxy-side engine fired onload.
+  void on_proxy_onload();
+
+  /// The proxy's completion heuristic declared the page done; flush the
+  /// remainder unconditionally.
+  void on_page_complete();
+
+  [[nodiscard]] std::size_t bundles_sent() const { return bundles_sent_; }
+  [[nodiscard]] Bytes pending_bytes() const { return pending_.payload_bytes(); }
+
+ private:
+  void flush();
+
+  BundleConfig config_;
+  Sink sink_;
+  web::MhtmlWriter pending_;
+  bool onload_seen_ = false;
+  std::size_t bundles_sent_ = 0;
+};
+
+}  // namespace parcel::core

@@ -1,0 +1,322 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "browser/cloud_browser.hpp"
+#include "browser/dir_browser.hpp"
+#include "browser/proxied_browser.hpp"
+#include "core/session.hpp"
+#include "util/stats.hpp"
+
+namespace parcel::core {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kDir: return "DIR";
+    case Scheme::kHttpProxy: return "HTTP-PROXY";
+    case Scheme::kSpdyProxy: return "SPDY-PROXY";
+    case Scheme::kParcelInd: return "PARCEL(IND)";
+    case Scheme::kParcelOnld: return "PARCEL(ONLD)";
+    case Scheme::kParcel512K: return "PARCEL(512K)";
+    case Scheme::kParcel1M: return "PARCEL(1M)";
+    case Scheme::kParcel2M: return "PARCEL(2M)";
+    case Scheme::kCloudBrowser: return "CB";
+  }
+  return "?";
+}
+
+bool is_parcel(Scheme s) {
+  switch (s) {
+    case Scheme::kParcelInd:
+    case Scheme::kParcelOnld:
+    case Scheme::kParcel512K:
+    case Scheme::kParcel1M:
+    case Scheme::kParcel2M:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BundleConfig bundle_for(Scheme s) {
+  switch (s) {
+    case Scheme::kParcelInd: return BundleConfig::ind();
+    case Scheme::kParcelOnld: return BundleConfig::onload();
+    case Scheme::kParcel512K: return BundleConfig::with_threshold(util::kib(512));
+    case Scheme::kParcel1M: return BundleConfig::with_threshold(util::mib(1));
+    case Scheme::kParcel2M: return BundleConfig::with_threshold(util::mib(2));
+    default:
+      throw std::invalid_argument("bundle_for: not a PARCEL scheme");
+  }
+}
+
+namespace {
+
+browser::EngineConfig client_engine_config(const lte::DeviceProfile& device) {
+  browser::EngineConfig cfg;
+  cfg.parse_bytes_per_sec = device.parse_bytes_per_sec;
+  cfg.js_units_per_sec = device.js_units_per_sec;
+  return cfg;
+}
+
+browser::DirConfig proxy_fetch_config() {
+  browser::DirConfig cfg;
+  lte::DeviceProfile proxy = lte::DeviceProfile::proxy_server();
+  cfg.engine.parse_bytes_per_sec = proxy.parse_bytes_per_sec;
+  cfg.engine.js_units_per_sec = proxy.js_units_per_sec;
+  // Post-onload ad/widget scripts run promptly on a server-class engine;
+  // on the device they straggle for seconds (EngineConfig defaults).
+  cfg.engine.async_exec_min = util::Duration::millis(50);
+  cfg.engine.async_exec_max = util::Duration::millis(600);
+  // A well-provisioned server is not bound by a handset's socket budget.
+  cfg.max_total_connections = 64;
+  return cfg;
+}
+
+void finalize_common(RunResult& result, Testbed& testbed,
+                     const RunConfig& config) {
+  testbed.client_trace().truncate_after(
+      util::TimePoint::origin() + config.capture_window);
+  result.trace = testbed.client_trace();
+  lte::EnergyAnalyzer analyzer(config.testbed.radio.rrc);
+  result.radio = analyzer.analyze(result.trace, /*include_decay_tail=*/true);
+  result.downlink_bytes = result.trace.downlink_bytes();
+  result.uplink_bytes = result.trace.uplink_bytes();
+  result.tcp_connections = result.trace.connection_count();
+  if (const lte::FadeProcess* fade = testbed.fade()) {
+    result.mean_signal_dbm = fade->mean_signal_dbm(
+        util::TimePoint::origin() + result.tlt);
+  }
+}
+
+RunResult run_dir(const web::WebPage& page, const RunConfig& config) {
+  Testbed testbed(config.testbed);
+  testbed.host_page(page);
+
+  browser::DirConfig dir_cfg;
+  dir_cfg.engine = client_engine_config(config.device);
+  browser::DirBrowser dir(testbed.network(), dir_cfg,
+                          util::Rng(config.seed));
+
+  RunResult result;
+  result.scheme = Scheme::kDir;
+  browser::BrowserEngine::Callbacks cbs;
+  cbs.on_onload = [&](util::TimePoint t) {
+    result.olt = t - util::TimePoint::origin();
+  };
+  cbs.on_complete = [&](util::TimePoint t) {
+    result.tlt = t - util::TimePoint::origin();
+    result.ok = true;
+  };
+  dir.load(page.main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::origin() +
+                                config.capture_window);
+  if (!result.ok && !testbed.client_trace().empty()) {
+    result.tlt = testbed.client_trace().last_time() - util::TimePoint::origin();
+  }
+  result.cpu_busy = dir.engine().cpu_busy();
+  result.radio_http_requests = dir.fetcher().requests_issued();
+  result.dns_lookups = dir.fetcher().dns_lookups();
+  result.objects_loaded = dir.engine().ledger().count();
+  finalize_common(result, testbed, config);
+  return result;
+}
+
+RunResult run_parcel(Scheme scheme, const web::WebPage& page,
+                     const RunConfig& config) {
+  Testbed testbed(config.testbed);
+  testbed.host_page(page);
+
+  ParcelSessionConfig session_cfg;
+  session_cfg.proxy.fetch = proxy_fetch_config();
+  session_cfg.proxy.bundle = bundle_for(scheme);
+  session_cfg.proxy.inactivity_window = config.proxy_inactivity_window;
+  session_cfg.client_engine = client_engine_config(config.device);
+  session_cfg.proxy_domain = Testbed::kProxyDomain;
+
+  ParcelSession session(testbed.network(), session_cfg,
+                        util::Rng(config.seed));
+
+  RunResult result;
+  result.scheme = scheme;
+  ParcelSession::Callbacks cbs;
+  cbs.on_onload = [&](util::TimePoint t) {
+    result.olt = t - util::TimePoint::origin();
+  };
+  cbs.on_complete = [&](util::TimePoint t) {
+    result.tlt = t - util::TimePoint::origin();
+    result.ok = true;
+  };
+  session.load(page.main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::origin() +
+                                config.capture_window);
+  if (!result.ok && !testbed.client_trace().empty()) {
+    result.tlt = testbed.client_trace().last_time() - util::TimePoint::origin();
+  }
+  result.cpu_busy = session.client_engine().cpu_busy();
+  // One URL request plus any fallback GETs cross the radio.
+  result.fallbacks = session.client_fetcher().fallback_requests();
+  result.radio_http_requests = 1 + result.fallbacks;
+  result.dns_lookups = 0;
+  result.objects_loaded = session.client_engine().ledger().count();
+  result.bundles = session.bundles_delivered();
+  finalize_common(result, testbed, config);
+  return result;
+}
+
+RunResult run_proxied(Scheme scheme, const web::WebPage& page,
+                      const RunConfig& config) {
+  Testbed testbed(config.testbed);
+  testbed.host_page(page);
+
+  browser::ProxiedBrowserConfig cfg =
+      scheme == Scheme::kSpdyProxy
+          ? browser::ProxiedBrowserConfig::spdy_proxy()
+          : browser::ProxiedBrowserConfig::http_proxy();
+  cfg.engine = client_engine_config(config.device);
+
+  util::Rng rng(config.seed);
+  browser::RelayProxy relay(testbed.network(), proxy_fetch_config(),
+                            rng.fork());
+  const std::string relay_domain = "relay.proxy.example";
+  testbed.register_proxy_endpoint(relay_domain, relay);
+  browser::ProxiedBrowser client(testbed.network(), relay_domain, cfg,
+                                 rng.fork());
+
+  RunResult result;
+  result.scheme = scheme;
+  browser::BrowserEngine::Callbacks cbs;
+  cbs.on_onload = [&](util::TimePoint t) {
+    result.olt = t - util::TimePoint::origin();
+  };
+  cbs.on_complete = [&](util::TimePoint t) {
+    result.tlt = t - util::TimePoint::origin();
+    result.ok = true;
+  };
+  client.load(page.main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::origin() +
+                                config.capture_window);
+  if (!result.ok && !testbed.client_trace().empty()) {
+    result.tlt = testbed.client_trace().last_time() - util::TimePoint::origin();
+  }
+  result.cpu_busy = client.engine().cpu_busy();
+  result.radio_http_requests = client.requests_issued();
+  result.dns_lookups = 0;  // the proxy resolves
+  result.objects_loaded = client.engine().ledger().count();
+  finalize_common(result, testbed, config);
+  return result;
+}
+
+RunResult run_cloud(const web::WebPage& page, const RunConfig& config) {
+  Testbed testbed(config.testbed);
+  testbed.host_page(page);
+
+  browser::CloudBrowserConfig cb_cfg;
+  cb_cfg.proxy_fetch = proxy_fetch_config();
+  cb_cfg.client = client_engine_config(config.device);
+
+  util::Rng rng(config.seed);
+  browser::CloudBrowserProxy proxy(testbed.network(), cb_cfg, rng.fork());
+  const std::string cb_domain = "cb.proxy.example";
+  testbed.register_proxy_endpoint(cb_domain, proxy);
+  browser::CloudBrowserClient client(testbed.network(), cb_domain, cb_cfg);
+
+  RunResult result;
+  result.scheme = Scheme::kCloudBrowser;
+  client.load(page.main_url(), [&](util::TimePoint t) {
+    result.olt = t - util::TimePoint::origin();
+    result.tlt = result.olt;  // the snapshot is the whole transfer
+    result.ok = true;
+  });
+  testbed.scheduler().run_until(util::TimePoint::origin() +
+                                config.capture_window);
+  result.cpu_busy = client.cpu_busy();
+  result.radio_http_requests = 1;
+  result.dns_lookups = 0;
+  result.objects_loaded = client.ledger().count();
+  finalize_common(result, testbed, config);
+  return result;
+}
+
+}  // namespace
+
+RunResult ExperimentRunner::run(Scheme scheme, const web::WebPage& page,
+                                const RunConfig& config) {
+  switch (scheme) {
+    case Scheme::kDir:
+      return run_dir(page, config);
+    case Scheme::kHttpProxy:
+    case Scheme::kSpdyProxy:
+      return run_proxied(scheme, page, config);
+    case Scheme::kCloudBrowser:
+      return run_cloud(page, config);
+    default:
+      return run_parcel(scheme, page, config);
+  }
+}
+
+namespace {
+
+std::vector<double> collect(const SchemeSeries& s,
+                            double (*get)(const RunResult&)) {
+  std::vector<double> out;
+  out.reserve(s.runs.size());
+  for (const auto& r : s.runs) out.push_back(get(r));
+  return out;
+}
+
+}  // namespace
+
+double SchemeSeries::median_olt_sec() const {
+  return util::median(
+      collect(*this, [](const RunResult& r) { return r.olt.sec(); }));
+}
+double SchemeSeries::median_tlt_sec() const {
+  return util::median(
+      collect(*this, [](const RunResult& r) { return r.tlt.sec(); }));
+}
+double SchemeSeries::median_radio_j() const {
+  return util::median(
+      collect(*this, [](const RunResult& r) { return r.radio.total.j(); }));
+}
+double SchemeSeries::median_cr_j() const {
+  return util::median(
+      collect(*this, [](const RunResult& r) { return r.radio.cr.j(); }));
+}
+
+RoundsOutcome run_rounds(const web::WebPage& page,
+                         const std::vector<Scheme>& schemes,
+                         const RoundsConfig& config) {
+  RoundsOutcome outcome;
+  outcome.rounds_total = config.rounds;
+  for (int round = 0; round < config.rounds; ++round) {
+    std::vector<RunResult> round_results;
+    round_results.reserve(schemes.size());
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      RunConfig run_cfg = config.base;
+      // Back-to-back runs see different instantaneous radio conditions:
+      // fade and workload seeds vary per (round, scheme) slot.
+      run_cfg.seed = config.base.seed + 1000003ULL * round + 97ULL * i;
+      run_cfg.testbed.fade_seed =
+          config.base.testbed.fade_seed + 7919ULL * round + 31ULL * i + 1;
+      round_results.push_back(
+          ExperimentRunner::run(schemes[i], page, run_cfg));
+    }
+    if (config.discard_first_round && round == 0) continue;
+    // Signal comparability filter (§7.2).
+    double lo = round_results.front().mean_signal_dbm;
+    double hi = lo;
+    for (const auto& r : round_results) {
+      lo = std::min(lo, r.mean_signal_dbm);
+      hi = std::max(hi, r.mean_signal_dbm);
+    }
+    if (hi - lo > config.signal_tolerance_db) continue;
+    ++outcome.rounds_kept;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      outcome.series[schemes[i]].runs.push_back(std::move(round_results[i]));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,199 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace parcel::core {
+
+namespace {
+constexpr util::Bytes kCompletionNoteBytes = 160;
+}
+
+ParcelSession::ParcelSession(net::Network& network, ParcelSessionConfig config,
+                             util::Rng rng)
+    : network_(network),
+      config_(std::move(config)),
+      rng_(rng.fork()),
+      conn_(network.scheduler(), network.route("client", config_.proxy_domain),
+            config_.tcp, network.next_conn_id()),
+      proxy_(network, config_.proxy, rng.fork()),
+      fetcher_(network.scheduler(), rng.fork()) {
+  engine_rng_ = rng.fork();
+  engine_ = std::make_unique<browser::BrowserEngine>(
+      network.scheduler(), fetcher_, config_.client_engine,
+      engine_rng_.fork(), "parcel-client");
+  fetcher_.set_suppression(config_.client_suppression);
+  fetcher_.set_fallback([this](const net::Url& url, web::ObjectType hint) {
+    // Fallback GET travels up the persistent connection; the proxy
+    // fetches and pushes the answer as a single-part bundle. Fallbacks
+    // raised before the handshake finishes (possible with suppression
+    // disabled) wait for it.
+    auto send = [this, url, hint] {
+      net::HttpRequest request;
+      request.url = url;
+      conn_.send_to_server(request.wire_size(), /*object_id=*/0,
+                           [this, url, hint](util::TimePoint) {
+                             proxy_.fetch_for_client(url, hint);
+                           });
+    };
+    if (conn_.established()) {
+      send();
+    } else {
+      pending_fallbacks_.push_back(std::move(send));
+    }
+  });
+}
+
+browser::BrowserEngine& ParcelSession::client_engine() {
+  if (direct_) return direct_->engine();
+  return *engine_;
+}
+
+void ParcelSession::load(const net::Url& url, Callbacks callbacks) {
+  callbacks_ = std::move(callbacks);
+
+  if (url.is_https()) {
+    // §4.5: encrypted pages bypass the proxy; fall back to the
+    // traditional download path.
+    util::log_info("core.session",
+                   "HTTPS page, bypassing proxy: " + url.str());
+    browser::DirConfig direct_cfg;
+    direct_cfg.engine = config_.client_engine;
+    direct_cfg.tcp = config_.tcp;
+    direct_ = std::make_unique<browser::DirBrowser>(network_, direct_cfg,
+                                                    rng_.fork());
+    browser::BrowserEngine::Callbacks cbs;
+    cbs.on_onload = callbacks_.on_onload;
+    cbs.on_complete = callbacks_.on_complete;
+    direct_->load(url, std::move(cbs));
+    return;
+  }
+
+  browser::BrowserEngine::Callbacks cbs;
+  cbs.on_onload = [this](util::TimePoint t) {
+    if (callbacks_.on_onload) callbacks_.on_onload(t);
+  };
+  cbs.on_complete = [this](util::TimePoint) {
+    client_complete_ = true;
+    check_session_complete();
+  };
+
+  // Client -> proxy: the one URL request, carrying device attributes so
+  // the proxy can emulate the client towards origin servers (§4.5).
+  net::HttpRequest request;
+  request.url = url;
+  request.user_agent = config_.user_agent;
+  request.screen_info = config_.screen_info;
+  util::Bytes request_bytes = request.wire_size();
+
+  if (session_open_) {
+    // Subsequent page on the open session: fresh engines, persistent
+    // device cache + cache mirror, same connection.
+    if (!client_complete_ || !proxy_.completion_declared()) {
+      throw std::logic_error(
+          "ParcelSession::load: previous page still loading");
+    }
+    client_complete_ = false;
+    complete_fired_ = false;
+    fetcher_.on_new_page();
+    retired_engines_.push_back(std::move(engine_));
+    engine_ = std::make_unique<browser::BrowserEngine>(
+        network_.scheduler(), fetcher_, config_.client_engine,
+        engine_rng_.fork(), "parcel-client");
+    conn_.send_to_server(request_bytes, /*object_id=*/0,
+                         [this, url](util::TimePoint) {
+                           proxy_.load_page(url);
+                         });
+    engine_->load(url, std::move(cbs));
+    return;
+  }
+  session_open_ = true;
+
+  conn_.connect([this, url, request_bytes] {
+    conn_.send_to_server(request_bytes, /*object_id=*/0,
+                         [this, url](util::TimePoint) {
+                           proxy_.start(
+                               url, config_.user_agent,
+                               [this](web::MhtmlWriter bundle) {
+                                 push_bundle(std::move(bundle));
+                               },
+                               [this] { send_completion_note(); });
+                         });
+    for (auto& pending : pending_fallbacks_) pending();
+    pending_fallbacks_.clear();
+  });
+
+  // The client engine starts immediately; its very first fetch (the main
+  // HTML) is suppressed until the first bundle delivers it.
+  engine_->load(url, std::move(cbs));
+}
+
+void ParcelSession::push_bundle(web::MhtmlWriter bundle) {
+  // Serialize to the actual MHTML wire format; the string's length is the
+  // exact byte count that crosses the radio.
+  auto text = std::make_shared<const std::string>(bundle.serialize());
+  auto wire_size = static_cast<util::Bytes>(text->size());
+  ++pushes_in_flight_;
+  conn_.stream_to_client(
+      wire_size, next_push_id_++, [this, text, wire_size](util::TimePoint) {
+        ++bundles_delivered_;
+        bundle_bytes_ += wire_size;
+        fetcher_.on_bundle_parts(web::MhtmlReader::parse(*text));
+        for (std::size_t i = 0; i < post_waiters_.size();) {
+          if (bundles_delivered_ >= post_waiters_[i].first) {
+            auto cb = std::move(post_waiters_[i].second);
+            post_waiters_.erase(post_waiters_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            cb();
+          } else {
+            ++i;
+          }
+        }
+        --pushes_in_flight_;
+        check_session_complete();
+      });
+}
+
+void ParcelSession::send_completion_note() {
+  ++pushes_in_flight_;
+  conn_.stream_to_client(kCompletionNoteBytes, /*object_id=*/0,
+                         [this](util::TimePoint) {
+                           fetcher_.on_completion_note();
+                           --pushes_in_flight_;
+                           check_session_complete();
+                         });
+}
+
+void ParcelSession::check_session_complete() {
+  if (complete_fired_) return;
+  if (!client_complete_ || !proxy_.completion_declared()) return;
+  if (pushes_in_flight_ != 0 || conn_.streaming()) return;
+  if (fetcher_.parked_count() != 0) return;
+  complete_fired_ = true;
+  if (callbacks_.on_complete) {
+    callbacks_.on_complete(network_.scheduler().now());
+  }
+}
+
+void ParcelSession::click(int index, std::function<void()> on_done) {
+  client_engine().click(index, std::move(on_done));
+}
+
+void ParcelSession::post(const net::Url& url, util::Bytes body_bytes,
+                         std::function<void()> on_response) {
+  net::HttpRequest request;
+  request.method = net::HttpMethod::kPost;
+  request.url = url;
+  request.body_bytes = body_bytes;
+  // The response arrives as a single-part bundle; the application (not
+  // the renderer) consumes POST results, so completion is observed by
+  // watching the delivered-bundle count.
+  post_waiters_.emplace_back(bundles_delivered_ + 1, std::move(on_response));
+  conn_.send_to_server(request.wire_size(), /*object_id=*/0,
+                       [this, url, body_bytes](util::TimePoint) {
+                         proxy_.relay_post(url, body_bytes);
+                       });
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,118 @@
+// ParcelSession: wires the PARCEL client and proxy over a single TCP
+// connection through the radio (Table 1: one connection, one client HTTP
+// request per page).
+//
+// Protocol on the wire (sizes are what cross the simulated radio):
+//   client -> proxy : URL request with device attributes (§4.5)
+//   proxy  -> client: MHTML bundles (IND / ONLD / PARCEL(X) schedule)
+//   proxy  -> client: completion notification
+//   client -> proxy : fallback GETs for objects the proxy missed
+//
+// HTTPS pages bypass the proxy entirely (§4.5): the session falls back to
+// a direct DIR-style load.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "browser/dir_browser.hpp"
+#include "browser/engine.hpp"
+#include "core/client.hpp"
+#include "core/proxy.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace parcel::core {
+
+struct ParcelSessionConfig {
+  ProxyConfig proxy = ProxyConfig::with_bundle(BundleConfig::ind());
+  browser::EngineConfig client_engine;
+  net::TcpParams tcp;
+  /// Domain under which the proxy is reachable from the client vantage.
+  std::string proxy_domain = "parcel.proxy";
+  std::string user_agent = "ParcelBrowser/1.0 (Android; Webview)";
+  std::string screen_info = "720x1280";
+  /// Ablation: disable the client's request suppression (§4.5).
+  bool client_suppression = true;
+};
+
+class ParcelSession {
+ public:
+  struct Callbacks {
+    std::function<void(util::TimePoint)> on_onload;
+    /// Fires when the client engine is done AND the proxy has declared
+    /// completion AND nothing is left in flight — the end of the TLT
+    /// window.
+    std::function<void(util::TimePoint)> on_complete;
+  };
+
+  ParcelSession(net::Network& network, ParcelSessionConfig config,
+                util::Rng rng);
+
+  /// Load a page. The first call opens the session; subsequent calls
+  /// continue it on the same connection: the device keeps its cache of
+  /// pushed objects, and the personalized proxy's cache mirror ensures
+  /// already-delivered objects are not re-transmitted (§4.5, §7.3).
+  void load(const net::Url& url, Callbacks callbacks);
+
+  /// Local interaction (§8.2): JS runs on the device; no radio traffic
+  /// when the target is cached.
+  void click(int index, std::function<void()> on_done);
+
+  /// POST relayed through the proxy unmodified (§4.5).
+  void post(const net::Url& url, util::Bytes body_bytes,
+            std::function<void()> on_response);
+
+  // --- Introspection ----------------------------------------------------
+  [[nodiscard]] browser::BrowserEngine& client_engine();
+  [[nodiscard]] const ParcelProxy& proxy() const { return proxy_; }
+  [[nodiscard]] const ParcelClientFetcher& client_fetcher() const {
+    return fetcher_;
+  }
+  [[nodiscard]] bool used_direct_path() const {
+    return direct_ != nullptr;
+  }
+  [[nodiscard]] std::size_t bundles_delivered() const {
+    return bundles_delivered_;
+  }
+  [[nodiscard]] util::Bytes bundle_bytes_delivered() const {
+    return bundle_bytes_;
+  }
+
+ private:
+  void push_bundle(web::MhtmlWriter bundle);
+  void send_completion_note();
+  void check_session_complete();
+
+  net::Network& network_;
+  ParcelSessionConfig config_;
+  util::Rng rng_;
+  Callbacks callbacks_;
+
+  net::TcpConnection conn_;
+  ParcelProxy proxy_;
+  ParcelClientFetcher fetcher_;
+  std::unique_ptr<browser::BrowserEngine> engine_;
+  /// Engines of earlier pages in the session, kept alive because late
+  /// scheduled events may still reference them.
+  std::vector<std::unique_ptr<browser::BrowserEngine>> retired_engines_;
+  bool session_open_ = false;
+  util::Rng engine_rng_{0};
+
+  /// HTTPS bypass path.
+  std::unique_ptr<browser::DirBrowser> direct_;
+
+  bool client_complete_ = false;
+  bool complete_fired_ = false;
+  std::size_t pushes_in_flight_ = 0;
+  std::size_t bundles_delivered_ = 0;
+  /// POST responses awaited: (bundle count to reach, callback).
+  std::vector<std::pair<std::size_t, std::function<void()>>> post_waiters_;
+  /// Fallback sends raised before the connection established.
+  std::vector<std::function<void()>> pending_fallbacks_;
+  util::Bytes bundle_bytes_ = 0;
+  std::uint32_t next_push_id_ = 50'000;
+};
+
+}  // namespace parcel::core

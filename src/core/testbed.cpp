@@ -1,0 +1,95 @@
+#include "core/testbed.hpp"
+
+namespace parcel::core {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config),
+      network_(sched_),
+      topo_rng_(config.topology_seed) {
+  std::shared_ptr<const lte::FadeProcess> fade;
+  if (config_.fade) {
+    fade = std::make_shared<lte::FadeProcess>(util::Rng(config_.fade_seed),
+                                              *config_.fade);
+  }
+  radio_ = lte::make_radio_link(sched_, config_.radio, fade);
+
+  // Tap the radio: every burst that crosses it is a phone-capture record.
+  radio_.link->up().set_tap([this](util::TimePoint t, util::Bytes b,
+                                   const net::BurstInfo& info) {
+    trace_.record(trace::PacketRecord{t, trace::Direction::kUplink, info.kind,
+                                      b, info.conn_id, info.object_id});
+  });
+  radio_.link->down().set_tap([this](util::TimePoint t, util::Bytes b,
+                                     const net::BurstInfo& info) {
+    trace_.record(trace::PacketRecord{t, trace::Direction::kDownlink,
+                                      info.kind, b, info.conn_id,
+                                      info.object_id});
+  });
+  radio_link_ = &network_.adopt_link(std::move(radio_.link));
+
+  core_ = &network_.add_link("core", config_.core_rate, config_.core_rate,
+                             config_.core_delay);
+  proxy_access_ =
+      &network_.add_link("proxy.access", config_.proxy_access_rate,
+                         config_.proxy_access_rate,
+                         config_.proxy_access_delay);
+  proxy_egress_ =
+      &network_.add_link("proxy.egress", config_.proxy_access_rate,
+                         config_.proxy_access_rate,
+                         config_.proxy_access_delay);
+  dns_link_ = &network_.add_link("dns.access", config_.core_rate,
+                                 config_.core_rate, config_.dns_access_delay);
+  proxy_dns_link_ =
+      &network_.add_link("proxy.dns", config_.core_rate, config_.core_rate,
+                         util::Duration::millis(1));
+
+  // Client-side fixed routes.
+  network_.set_route("client", kProxyDomain,
+                     net::Path({radio_link_, proxy_access_}));
+  network_.set_route("client", "dns", net::Path({radio_link_, dns_link_}));
+  network_.set_route("proxy", "dns", net::Path({proxy_dns_link_}));
+}
+
+net::DuplexLink& Testbed::server_link(const std::string& domain) {
+  auto it = server_links_.find(domain);
+  if (it != server_links_.end()) return *it->second;
+  util::Duration delay = config_.server_delay;
+  if (config_.heterogeneous_server_delays) {
+    delay = util::Duration::millis(topo_rng_.uniform(
+        config_.server_delay_min.ms(), config_.server_delay_max.ms()));
+  }
+  net::DuplexLink& link = network_.add_link(
+      "origin." + domain, config_.server_rate, config_.server_rate, delay);
+  server_links_[domain] = &link;
+  return link;
+}
+
+void Testbed::host_page(const web::WebPage& page) {
+  for (const std::string& domain : page.domains()) {
+    net::DuplexLink& slink = server_link(domain);
+    auto [it, inserted] = origins_.try_emplace(domain, nullptr);
+    if (inserted) {
+      it->second = std::make_unique<web::OriginServer>(sched_, domain);
+      network_.register_endpoint(domain, *it->second);
+      network_.set_route("client", domain,
+                         net::Path({radio_link_, core_, &slink}));
+      network_.set_route("proxy", domain,
+                         net::Path({proxy_egress_, &slink}));
+    }
+    it->second->host(page);
+  }
+}
+
+void Testbed::register_proxy_endpoint(const std::string& domain,
+                                      net::HttpEndpoint& endpoint) {
+  network_.register_endpoint(domain, endpoint);
+  network_.set_route("client", domain,
+                     net::Path({radio_link_, proxy_access_}));
+}
+
+web::OriginServer* Testbed::origin(const std::string& domain) {
+  auto it = origins_.find(domain);
+  return it == origins_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,29 @@
+#include "lte/device.hpp"
+
+namespace parcel::lte {
+
+DeviceProfile DeviceProfile::galaxy_s3() {
+  DeviceProfile p;
+  // RrcConfig defaults already encode the S3/LTE parameterization.
+  return p;
+}
+
+DeviceProfile DeviceProfile::proxy_server() {
+  DeviceProfile p;
+  p.parse_bytes_per_sec = 40.0e6;
+  p.js_units_per_sec = 500.0;
+  return p;
+}
+
+DeviceEnergyBreakdown device_energy(const DeviceProfile& profile,
+                                    const EnergyReport& radio_report,
+                                    Duration cpu_busy, Duration wall_clock) {
+  DeviceEnergyBreakdown out;
+  out.radio = radio_report.total;
+  Duration idle = wall_clock - cpu_busy;
+  if (idle < Duration::zero()) idle = Duration::zero();
+  out.cpu = profile.cpu_active * cpu_busy + profile.cpu_idle * idle;
+  return out;
+}
+
+}  // namespace parcel::lte

@@ -1,0 +1,53 @@
+// Device energy model beyond the radio (paper §8.2, Fig 8 bottom).
+//
+// The paper measures total device energy with a power meter, deducting the
+// screen baseline. The moving parts across schemes are the radio (from
+// the trace analyzer) and the CPU: CB saves client CPU by running JS in
+// the cloud but pays radio for every interaction; PARCEL/DIR pay CPU
+// locally. We model CPU energy as active-power x busy-seconds reported by
+// the browser engine (parse + JS execution time).
+#pragma once
+
+#include "lte/energy.hpp"
+#include "lte/rrc.hpp"
+
+namespace parcel::lte {
+
+struct DeviceProfile {
+  RrcConfig rrc;
+  util::Power cpu_active = util::Power::milliwatts(1100.0);
+  util::Power cpu_idle = util::Power::milliwatts(35.0);
+  util::Power screen = util::Power::milliwatts(626.0);  // deducted in Fig 8
+  /// Client processing rates, scaled against the proxy (the paper's proxy
+  /// is a "powerful server"): bytes of HTML parsed per second and JS
+  /// "work units" executed per second. A 2013-era handset parses well
+  /// under 1 MB/s of markup and spends whole seconds in page JS — these
+  /// stalls between fetch waves are what create DIR's flat timeline
+  /// segments (Fig 6a) and its CR/DRX churn.
+  double parse_bytes_per_sec = 0.35e6;
+  double js_units_per_sec = 12.0;
+
+  /// The paper's device: Samsung Galaxy S3 on a production LTE network.
+  /// Power levels follow the 4G LTE characterization the paper builds on
+  /// (Huang et al., MobiSys'12) and are tuned so RrcConfig::alpha() is
+  /// ~0.74, matching the §6 worked example.
+  static DeviceProfile galaxy_s3();
+
+  /// Well-provisioned proxy: ~20x the client's processing rate, no radio.
+  static DeviceProfile proxy_server();
+};
+
+struct DeviceEnergyBreakdown {
+  util::Energy radio = util::Energy::zero();
+  util::Energy cpu = util::Energy::zero();
+
+  [[nodiscard]] util::Energy total() const { return radio + cpu; }
+};
+
+/// Combine an EnergyReport with CPU busy time into total device energy
+/// (screen excluded, as the paper deducts it).
+DeviceEnergyBreakdown device_energy(const DeviceProfile& profile,
+                                    const EnergyReport& radio_report,
+                                    Duration cpu_busy, Duration wall_clock);
+
+}  // namespace parcel::lte

@@ -1,0 +1,128 @@
+#include "lte/energy.hpp"
+
+#include <algorithm>
+
+namespace parcel::lte {
+
+util::Power EnergyAnalyzer::state_power(RrcState s) const {
+  switch (s) {
+    case RrcState::kIdle: return config_.p_idle;
+    case RrcState::kPromotion: return config_.p_promotion;
+    case RrcState::kCr: return config_.p_cr;
+    case RrcState::kShortDrx: return config_.p_short_drx;
+    case RrcState::kLongDrx: return config_.p_long_drx;
+  }
+  return config_.p_idle;
+}
+
+void EnergyAnalyzer::add_interval(EnergyReport& r, TimePoint begin,
+                                  TimePoint end, RrcState state) const {
+  if (end <= begin) return;
+  // Merge with the previous interval when the state continues.
+  if (!r.timeline.empty() && r.timeline.back().state == state &&
+      r.timeline.back().end == begin) {
+    r.timeline.back().end = end;
+  } else {
+    r.timeline.push_back(StateInterval{begin, end, state});
+  }
+  Duration d = end - begin;
+  Energy e = state_power(state) * d;
+  r.total += e;
+  switch (state) {
+    case RrcState::kCr:
+      r.cr += e;
+      r.time_cr += d;
+      break;
+    case RrcState::kShortDrx:
+      r.short_drx += e;
+      r.time_short_drx += d;
+      break;
+    case RrcState::kLongDrx:
+      r.long_drx += e;
+      r.time_long_drx += d;
+      break;
+    case RrcState::kIdle:
+      r.idle += e;
+      r.time_idle += d;
+      break;
+    case RrcState::kPromotion:
+      r.promotion += e;
+      r.time_promotion += d;
+      break;
+  }
+}
+
+void EnergyAnalyzer::add_decay(EnergyReport& r, TimePoint from,
+                               TimePoint until) const {
+  TimePoint cr_end = from + config_.cr_tail;
+  TimePoint sdrx_end = cr_end + config_.short_drx;
+  TimePoint ldrx_end = sdrx_end + config_.long_drx;
+  add_interval(r, from, std::min(cr_end, until), RrcState::kCr);
+  if (until > cr_end) {
+    ++r.cr_drx_transitions;
+    add_interval(r, cr_end, std::min(sdrx_end, until), RrcState::kShortDrx);
+  }
+  if (until > sdrx_end) {
+    add_interval(r, sdrx_end, std::min(ldrx_end, until), RrcState::kLongDrx);
+  }
+  if (until > ldrx_end) {
+    add_interval(r, ldrx_end, until, RrcState::kIdle);
+  }
+}
+
+EnergyReport EnergyAnalyzer::analyze(const trace::PacketTrace& trace,
+                                     bool include_decay_tail) const {
+  EnergyReport r;
+  if (trace.empty()) return r;
+
+  auto records = trace.records();
+  // Promotion from IDLE precedes the first record: the device paid it to
+  // send that packet.
+  TimePoint start = records.front().t - config_.promo_from_idle;
+  add_interval(r, start, records.front().t, RrcState::kPromotion);
+  ++r.promotions_from_idle;
+
+  TimePoint activity_end = records.front().t;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    TimePoint t = records[i].t;
+    Duration gap = t - activity_end;
+    RrcState resume_state = config_.state_after_gap(gap);
+    if (resume_state == RrcState::kCr) {
+      // Still in CR (or within the CR tail): continuous CR coverage.
+      add_interval(r, activity_end, t, RrcState::kCr);
+    } else {
+      // Decay through the tail, then pay a promotion to resume. We count
+      // DRX->CR resumes as transitions back into CR as well.
+      Duration promo = config_.promotion_delay_after_gap(gap);
+      TimePoint promo_start = t - promo;
+      add_decay(r, activity_end, std::max(activity_end, promo_start));
+      add_interval(r, std::max(activity_end, promo_start), t,
+                   RrcState::kPromotion);
+      if (resume_state == RrcState::kIdle) {
+        ++r.promotions_from_idle;
+      } else {
+        ++r.promotions_from_drx;
+        ++r.cr_drx_transitions;  // DRX -> CR
+      }
+    }
+    activity_end = std::max(activity_end, t);
+  }
+
+  if (include_decay_tail) {
+    add_decay(r, activity_end, activity_end + config_.total_tail());
+  }
+  return r;
+}
+
+Energy EnergyAnalyzer::energy_between(const EnergyReport& report, TimePoint t0,
+                                      TimePoint t1) const {
+  Energy e = Energy::zero();
+  for (const auto& iv : report.timeline) {
+    TimePoint b = std::max(iv.begin, t0);
+    TimePoint f = std::min(iv.end, t1);
+    if (f > b) e += state_power(iv.state) * (f - b);
+  }
+  return e;
+}
+
+}  // namespace parcel::lte

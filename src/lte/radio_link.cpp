@@ -1,0 +1,76 @@
+#include "lte/radio_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace parcel::lte {
+
+FadeProcess::FadeProcess(util::Rng rng, Params params) : params_(params) {
+  auto n = static_cast<std::size_t>(
+      std::ceil(params.horizon / params.step)) + 1;
+  steps_.reserve(n);
+  double x = params.mean_scale;
+  for (std::size_t i = 0; i < n; ++i) {
+    steps_.push_back(std::clamp(x, params.floor, 1.0));
+    // AR(1) around the mean: x' = mean + rho (x - mean) + noise.
+    x = params.mean_scale + params.correlation * (x - params.mean_scale) +
+        rng.normal(0.0, params.volatility);
+  }
+}
+
+double FadeProcess::scale_at(TimePoint t) const {
+  auto idx = static_cast<std::size_t>(std::max(0.0, t.sec()) /
+                                      params_.step.sec());
+  if (idx >= steps_.size()) idx = steps_.size() - 1;
+  return steps_[idx];
+}
+
+double FadeProcess::mean_scale_until(TimePoint t) const {
+  auto idx = static_cast<std::size_t>(std::max(0.0, t.sec()) /
+                                      params_.step.sec());
+  idx = std::min(idx + 1, steps_.size());
+  return std::accumulate(steps_.begin(),
+                         steps_.begin() + static_cast<std::ptrdiff_t>(idx),
+                         0.0) /
+         static_cast<double>(idx);
+}
+
+RadioLinkHalf::RadioLinkHalf(sim::Scheduler& sched, std::string name,
+                             util::BitRate rate, Duration prop_delay,
+                             std::shared_ptr<RrcMachine> rrc,
+                             std::shared_ptr<const FadeProcess> fade)
+    : net::Link(sched, std::move(name), rate, prop_delay),
+      rrc_(std::move(rrc)),
+      fade_(std::move(fade)) {}
+
+void RadioLinkHalf::transmit(util::Bytes bytes, const net::BurstInfo& info,
+                             DeliveryCallback on_delivered) {
+  TimePoint now = sched_.now();
+  if (fade_) set_rate_scale(fade_->scale_at(now));
+  Duration promo = rrc_->promotion_delay(now);
+  TimePoint earliest = now + promo;
+  TimePoint delivery = enqueue_burst(earliest, bytes);
+  // Radio is active from the promotion start through the end of
+  // serialization (delivery minus propagation).
+  rrc_->note_activity(now, delivery - prop_delay());
+  finish_transmit(delivery, bytes, info, std::move(on_delivered));
+}
+
+RadioLink make_radio_link(sim::Scheduler& sched, const RadioParams& params,
+                          std::shared_ptr<const FadeProcess> fade) {
+  auto rrc = std::make_shared<RrcMachine>(params.rrc);
+  auto up = std::make_unique<RadioLinkHalf>(sched, "radio.up",
+                                            params.uplink_rate,
+                                            params.one_way_delay, rrc, fade);
+  auto down = std::make_unique<RadioLinkHalf>(
+      sched, "radio.down", params.downlink_rate, params.one_way_delay, rrc,
+      fade);
+  RadioLink out;
+  out.link = std::make_unique<net::DuplexLink>(std::move(up), std::move(down));
+  out.rrc = std::move(rrc);
+  out.fade = std::move(fade);
+  return out;
+}
+
+}  // namespace parcel::lte

@@ -1,0 +1,86 @@
+// The LTE access link: a Link whose transfers are gated by the RRC state
+// machine (promotion latency) and whose rate follows a signal-fade
+// process. One RrcMachine is shared by the uplink and downlink halves —
+// it models the UE's single radio.
+#pragma once
+
+#include <memory>
+
+#include "lte/rrc.hpp"
+#include "net/link.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace parcel::lte {
+
+/// Piecewise-constant multiplicative rate fade, AR(1)-correlated across
+/// steps. Pre-generates a fixed horizon of steps so the scheduler's event
+/// queue drains when the workload does.
+class FadeProcess {
+ public:
+  struct Params {
+    Duration step = Duration::millis(500);
+    Duration horizon = Duration::seconds(120);
+    double mean_scale = 0.85;  // long-run average of the fade multiplier
+    double volatility = 0.08;  // per-step innovation stddev
+    double correlation = 0.9;  // AR(1) coefficient
+    double floor = 0.25;       // deep-fade clamp
+  };
+
+  FadeProcess(util::Rng rng, Params params);
+
+  /// Fade multiplier in effect at time t (in (0, 1]).
+  [[nodiscard]] double scale_at(TimePoint t) const;
+
+  /// Mean multiplier over [0, t]; the experiment harness converts this to
+  /// a pseudo-RSRP for its signal-comparability filter (§7.2).
+  [[nodiscard]] double mean_scale_until(TimePoint t) const;
+
+  /// Pseudo signal strength in dBm for filtering/logging.
+  [[nodiscard]] double mean_signal_dbm(TimePoint t) const {
+    return -120.0 + 30.0 * mean_scale_until(t);
+  }
+
+ private:
+  Params params_;
+  std::vector<double> steps_;
+};
+
+struct RadioParams {
+  util::BitRate uplink_rate = util::BitRate::mbps(2.0);
+  /// Paper §8.3: observed download speeds of 4-8 Mbps, median 6.
+  util::BitRate downlink_rate = util::BitRate::mbps(6.0);
+  /// One-way RAN latency; paper cites LTE RTTs of 70-86 ms end to end, of
+  /// which the radio leg dominates.
+  Duration one_way_delay = Duration::millis(45);
+  RrcConfig rrc;
+};
+
+/// One half (direction) of the radio. Applies promotion latency before
+/// serialization and reports activity back to the shared RRC machine.
+class RadioLinkHalf final : public net::Link {
+ public:
+  RadioLinkHalf(sim::Scheduler& sched, std::string name, util::BitRate rate,
+                Duration prop_delay, std::shared_ptr<RrcMachine> rrc,
+                std::shared_ptr<const FadeProcess> fade);
+
+  void transmit(util::Bytes bytes, const net::BurstInfo& info,
+                DeliveryCallback on_delivered) override;
+
+ private:
+  std::shared_ptr<RrcMachine> rrc_;
+  std::shared_ptr<const FadeProcess> fade_;
+};
+
+/// Factory: builds the duplex radio link with a shared RRC machine and
+/// optional fading. Returns the link plus the machine for inspection.
+struct RadioLink {
+  std::unique_ptr<net::DuplexLink> link;
+  std::shared_ptr<RrcMachine> rrc;
+  std::shared_ptr<const FadeProcess> fade;  // null when fading disabled
+};
+
+RadioLink make_radio_link(sim::Scheduler& sched, const RadioParams& params,
+                          std::shared_ptr<const FadeProcess> fade = nullptr);
+
+}  // namespace parcel::lte

@@ -1,0 +1,65 @@
+#include "lte/rrc.hpp"
+
+#include <cmath>
+
+namespace parcel::lte {
+
+std::string_view to_string(RrcState s) {
+  switch (s) {
+    case RrcState::kIdle: return "IDLE";
+    case RrcState::kPromotion: return "PROMO";
+    case RrcState::kCr: return "CR";
+    case RrcState::kShortDrx: return "SDRX";
+    case RrcState::kLongDrx: return "LDRX";
+  }
+  return "?";
+}
+
+double RrcConfig::alpha() const {
+  double num = (p_cr.w() - p_long_drx.w()) * cr_tail.sec() +
+               (p_short_drx.w() - p_long_drx.w()) * short_drx.sec();
+  return std::sqrt(num / p_long_drx.w());
+}
+
+RrcState RrcConfig::state_after_gap(Duration gap) const {
+  if (gap <= cr_tail) return RrcState::kCr;
+  if (gap <= cr_tail + short_drx) return RrcState::kShortDrx;
+  if (gap <= total_tail()) return RrcState::kLongDrx;
+  return RrcState::kIdle;
+}
+
+Duration RrcConfig::promotion_delay_after_gap(Duration gap) const {
+  switch (state_after_gap(gap)) {
+    case RrcState::kCr: return Duration::zero();
+    case RrcState::kShortDrx: return promo_from_short_drx;
+    case RrcState::kLongDrx: return promo_from_long_drx;
+    case RrcState::kIdle: return promo_from_idle;
+    case RrcState::kPromotion: return Duration::zero();
+  }
+  return Duration::zero();
+}
+
+RrcState RrcMachine::state_at(TimePoint t) const {
+  if (!ever_active_) return RrcState::kIdle;
+  if (t <= last_activity_end_) return RrcState::kCr;
+  return config_.state_after_gap(t - last_activity_end_);
+}
+
+Duration RrcMachine::promotion_delay(TimePoint t) const {
+  if (!ever_active_) return config_.promo_from_idle;
+  if (t <= last_activity_end_) return Duration::zero();
+  return config_.promotion_delay_after_gap(t - last_activity_end_);
+}
+
+void RrcMachine::note_activity(TimePoint start, TimePoint end) {
+  RrcState before = state_at(start);
+  if (before == RrcState::kIdle) {
+    ++promos_idle_;
+  } else if (before == RrcState::kShortDrx || before == RrcState::kLongDrx) {
+    ++promos_drx_;
+  }
+  ever_active_ = true;
+  if (end > last_activity_end_) last_activity_end_ = end;
+}
+
+}  // namespace parcel::lte

@@ -1,0 +1,52 @@
+#include "net/dns.hpp"
+
+#include <utility>
+
+namespace parcel::net {
+
+namespace {
+constexpr Bytes kQueryBytes = 70;
+constexpr Bytes kAnswerBytes = 130;
+}  // namespace
+
+DnsClient::DnsClient(sim::Scheduler& sched, Path path_to_resolver,
+                     Duration mean_server_latency, util::Rng rng,
+                     std::function<std::uint32_t()> conn_ids)
+    : sched_(sched),
+      path_(std::move(path_to_resolver)),
+      mean_server_latency_(mean_server_latency),
+      rng_(std::move(rng)),
+      conn_ids_(std::move(conn_ids)) {}
+
+void DnsClient::resolve(const std::string& domain, Callback on_resolved) {
+  if (cache_.contains(domain)) {
+    ++cache_hits_;
+    on_resolved();
+    return;
+  }
+  auto [it, first] = pending_.try_emplace(domain);
+  it->second.push_back(std::move(on_resolved));
+  if (!first) return;  // a query for this domain is already in flight
+
+  ++lookups_;
+  std::uint32_t conn = conn_ids_();
+  BurstInfo query{trace::PacketKind::kData, conn, 0};
+  Duration server_latency =
+      Duration::seconds(rng_.exponential(mean_server_latency_.sec()));
+  path_.send_up(kQueryBytes, query,
+                [this, domain, conn, server_latency](TimePoint) {
+                  sched_.schedule_after(server_latency, [this, domain, conn] {
+                    BurstInfo answer{trace::PacketKind::kData, conn, 0};
+                    path_.send_down(kAnswerBytes, answer,
+                                    [this, domain](TimePoint) {
+                                      cache_.insert(domain);
+                                      auto node = pending_.extract(domain);
+                                      for (auto& waiter : node.mapped()) {
+                                        waiter();
+                                      }
+                                    });
+                  });
+                });
+}
+
+}  // namespace parcel::net

@@ -1,0 +1,56 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace parcel::net {
+
+DuplexLink& Network::add_link(const std::string& name, BitRate up_rate,
+                              BitRate down_rate, Duration prop_delay) {
+  links_.push_back(std::make_unique<DuplexLink>(sched_, name, up_rate,
+                                                down_rate, prop_delay));
+  return *links_.back();
+}
+
+DuplexLink& Network::adopt_link(std::unique_ptr<DuplexLink> link) {
+  if (!link) throw std::invalid_argument("adopt_link: null link");
+  links_.push_back(std::move(link));
+  return *links_.back();
+}
+
+void Network::register_endpoint(const std::string& domain,
+                                HttpEndpoint& endpoint) {
+  endpoints_[domain] = &endpoint;
+}
+
+HttpEndpoint* Network::endpoint(const std::string& domain) const {
+  auto it = endpoints_.find(domain);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void Network::set_route(const std::string& vantage, const std::string& domain,
+                        Path path) {
+  routes_[vantage][domain] = std::move(path);
+}
+
+Path Network::route(const std::string& vantage,
+                    const std::string& domain) const {
+  auto v = routes_.find(vantage);
+  if (v != routes_.end()) {
+    auto d = v->second.find(domain);
+    if (d != v->second.end()) return d->second;
+    // Fall back to a wildcard route for the vantage if present.
+    auto wild = v->second.find("*");
+    if (wild != v->second.end()) return wild->second;
+  }
+  throw std::runtime_error("Network::route: no route from " + vantage +
+                           " to " + domain);
+}
+
+bool Network::has_route(const std::string& vantage,
+                        const std::string& domain) const {
+  auto v = routes_.find(vantage);
+  if (v == routes_.end()) return false;
+  return v->second.contains(domain) || v->second.contains("*");
+}
+
+}  // namespace parcel::net

@@ -1,0 +1,57 @@
+// Registry tying the substrate together: owns links, maps server domains
+// to HTTP endpoints and to the paths that reach them, and allocates
+// connection ids. Experiment topologies (the LTE testbed) are built on
+// top of this in core/testbed.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/link.hpp"
+#include "net/path.hpp"
+#include "sim/scheduler.hpp"
+
+namespace parcel::net {
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  DuplexLink& add_link(const std::string& name, BitRate up_rate,
+                       BitRate down_rate, Duration prop_delay);
+
+  /// Adopt an externally constructed link (the LTE radio link, whose
+  /// halves share an RRC machine).
+  DuplexLink& adopt_link(std::unique_ptr<DuplexLink> link);
+
+  /// Map a server domain to the endpoint that answers for it.
+  void register_endpoint(const std::string& domain, HttpEndpoint& endpoint);
+  [[nodiscard]] HttpEndpoint* endpoint(const std::string& domain) const;
+
+  /// Paths as seen from a named vantage ("client" or "proxy").
+  void set_route(const std::string& vantage, const std::string& domain,
+                 Path path);
+  [[nodiscard]] Path route(const std::string& vantage,
+                           const std::string& domain) const;
+  [[nodiscard]] bool has_route(const std::string& vantage,
+                               const std::string& domain) const;
+
+  [[nodiscard]] std::uint32_t next_conn_id() { return ++conn_id_; }
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<DuplexLink>> links_;
+  std::map<std::string, HttpEndpoint*> endpoints_;
+  std::map<std::string, std::map<std::string, Path>> routes_;
+  std::uint32_t conn_id_ = 0;
+};
+
+}  // namespace parcel::net

@@ -1,0 +1,64 @@
+#include "net/path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcel::net {
+
+Path::Path(std::vector<DuplexLink*> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("Path requires at least one segment");
+  }
+  for (auto* s : segments_) {
+    if (s == nullptr) throw std::invalid_argument("Path: null segment");
+  }
+}
+
+void Path::relay(std::size_t idx, bool up, Bytes bytes, BurstInfo info,
+                 Link::DeliveryCallback on_delivered) const {
+  // Uplink traverses segments 0..n-1; downlink traverses n-1..0. The
+  // radio link is segment 0 in all our topologies.
+  std::size_t link_idx = up ? idx : segments_.size() - 1 - idx;
+  Link& link = up ? segments_[link_idx]->up() : segments_[link_idx]->down();
+  bool last = idx + 1 == segments_.size();
+  if (last) {
+    link.transmit(bytes, info, std::move(on_delivered));
+    return;
+  }
+  link.transmit(bytes, info,
+                [this, idx, up, bytes, info,
+                 cb = std::move(on_delivered)](TimePoint) mutable {
+                  relay(idx + 1, up, bytes, info, std::move(cb));
+                });
+}
+
+void Path::send_up(Bytes bytes, const BurstInfo& info,
+                   Link::DeliveryCallback on_delivered) const {
+  relay(0, /*up=*/true, bytes, info, std::move(on_delivered));
+}
+
+void Path::send_down(Bytes bytes, const BurstInfo& info,
+                     Link::DeliveryCallback on_delivered) const {
+  relay(0, /*up=*/false, bytes, info, std::move(on_delivered));
+}
+
+Duration Path::propagation_delay() const {
+  Duration d = Duration::zero();
+  for (const auto* s : segments_) d += s->prop_delay();
+  return d;
+}
+
+BitRate Path::bottleneck_down() const {
+  BitRate r = BitRate::mbps(1e9);
+  for (const auto* s : segments_) r = std::min(r, s->down().effective_rate());
+  return r;
+}
+
+BitRate Path::bottleneck_up() const {
+  BitRate r = BitRate::mbps(1e9);
+  for (const auto* s : segments_) r = std::min(r, s->up().effective_rate());
+  return r;
+}
+
+}  // namespace parcel::net

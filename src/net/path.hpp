@@ -1,0 +1,52 @@
+// A Path is the ordered sequence of duplex links between two hosts.
+// Bursts traverse links store-and-forward: each hop serializes the burst
+// before the next hop begins. "Up" is the direction from the path's first
+// endpoint (conventionally the client) towards the last (the server).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace parcel::net {
+
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<DuplexLink*> segments);
+
+  /// Send a burst from the first endpoint towards the last.
+  void send_up(Bytes bytes, const BurstInfo& info,
+               Link::DeliveryCallback on_delivered) const;
+
+  /// Send a burst from the last endpoint towards the first.
+  void send_down(Bytes bytes, const BurstInfo& info,
+                 Link::DeliveryCallback on_delivered) const;
+
+  /// Sum of propagation delays, one way (excludes serialization).
+  [[nodiscard]] Duration propagation_delay() const;
+
+  /// Base round-trip time: 2x propagation (serialization of small control
+  /// packets is negligible against it).
+  [[nodiscard]] Duration base_rtt() const {
+    return propagation_delay() * 2.0;
+  }
+
+  /// Lowest effective rate along the downlink direction right now.
+  [[nodiscard]] BitRate bottleneck_down() const;
+  [[nodiscard]] BitRate bottleneck_up() const;
+
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] const std::vector<DuplexLink*>& segments() const {
+    return segments_;
+  }
+
+ private:
+  void relay(std::size_t idx, bool up, Bytes bytes, BurstInfo info,
+             Link::DeliveryCallback on_delivered) const;
+
+  std::vector<DuplexLink*> segments_;
+};
+
+}  // namespace parcel::net

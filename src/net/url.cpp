@@ -1,0 +1,96 @@
+#include "net/url.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace parcel::net {
+
+namespace {
+
+/// Collapse "." and ".." segments (the parts of RFC 3986
+/// remove_dot_segments relevant to our URLs). Absolute paths only.
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string_view> kept;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    std::size_t next = path.find('/', pos);
+    std::string_view seg = next == std::string_view::npos
+                               ? path.substr(pos)
+                               : path.substr(pos, next - pos);
+    if (seg == "..") {
+      if (!kept.empty()) kept.pop_back();
+    } else if (!seg.empty() && seg != ".") {
+      kept.push_back(seg);
+    }
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  std::string out;
+  for (std::string_view seg : kept) {
+    out += "/";
+    out += std::string(seg);
+  }
+  if (out.empty()) out = "/";
+  return out;
+}
+
+}  // namespace
+
+Url Url::parse(std::string_view text) {
+  Url u;
+  auto scheme_end = text.find("://");
+  if (scheme_end != std::string_view::npos) {
+    u.scheme_ = std::string(text.substr(0, scheme_end));
+    text.remove_prefix(scheme_end + 3);
+  }
+  auto path_start = text.find('/');
+  std::string_view host_part =
+      path_start == std::string_view::npos ? text : text.substr(0, path_start);
+  if (host_part.empty()) {
+    throw std::invalid_argument("Url::parse: empty host in '" +
+                                std::string(text) + "'");
+  }
+  u.host_ = std::string(host_part);
+  std::string_view rest =
+      path_start == std::string_view::npos ? "/" : text.substr(path_start);
+  auto query_start = rest.find('?');
+  if (query_start == std::string_view::npos) {
+    u.path_ = std::string(rest);
+  } else {
+    u.path_ = std::string(rest.substr(0, query_start));
+    u.query_ = std::string(rest.substr(query_start + 1));
+  }
+  if (u.path_.empty()) u.path_ = "/";
+  return u;
+}
+
+Url Url::resolve(std::string_view ref) const {
+  if (ref.find("://") != std::string_view::npos) return parse(ref);
+  if (ref.starts_with("//")) return parse(scheme_ + ":" + std::string(ref));
+  Url u = *this;
+  u.query_.clear();
+  if (ref.starts_with('/')) {
+    auto q = ref.find('?');
+    u.path_ = std::string(ref.substr(0, q));
+    if (q != std::string_view::npos) u.query_ = std::string(ref.substr(q + 1));
+    return u;
+  }
+  // Relative path: resolve against the base directory, collapsing any
+  // "./" and "../" segments.
+  auto dir_end = path_.rfind('/');
+  std::string dir = dir_end == std::string::npos ? "/" : path_.substr(0, dir_end + 1);
+  auto q = ref.find('?');
+  u.path_ = normalize_path(dir + std::string(ref.substr(0, q)));
+  if (q != std::string_view::npos) u.query_ = std::string(ref.substr(q + 1));
+  return u;
+}
+
+std::string Url::str() const {
+  std::string s = scheme_ + "://" + host_ + path_;
+  if (!query_.empty()) s += "?" + query_;
+  return s;
+}
+
+std::string Url::without_query() const { return host_ + path_; }
+
+}  // namespace parcel::net

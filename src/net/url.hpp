@@ -1,0 +1,52 @@
+// Minimal URL type: scheme://host/path?query. Enough for the browser and
+// proxy to route requests by domain, detect HTTPS (PARCEL bypasses its
+// proxy for encrypted pages, §4.5), and normalize replay variability.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace parcel::net {
+
+class Url {
+ public:
+  Url() = default;
+
+  /// Parse "scheme://host/path?query". Scheme defaults to http, path to /.
+  /// Throws std::invalid_argument on an empty host.
+  static Url parse(std::string_view text);
+
+  /// Resolve `ref` (absolute URL, "//host/..." or absolute/relative path)
+  /// against this URL as base.
+  [[nodiscard]] Url resolve(std::string_view ref) const;
+
+  [[nodiscard]] const std::string& scheme() const { return scheme_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& query() const { return query_; }
+
+  [[nodiscard]] bool is_https() const { return scheme_ == "https"; }
+
+  [[nodiscard]] std::string str() const;
+
+  /// Host + path, no query: the replay store keys on this after
+  /// normalization strips cache-busting query params.
+  [[nodiscard]] std::string without_query() const;
+
+  bool operator==(const Url& o) const = default;
+
+ private:
+  std::string scheme_ = "http";
+  std::string host_;
+  std::string path_ = "/";
+  std::string query_;
+};
+
+}  // namespace parcel::net
+
+template <>
+struct std::hash<parcel::net::Url> {
+  std::size_t operator()(const parcel::net::Url& u) const {
+    return std::hash<std::string>{}(u.str());
+  }
+};

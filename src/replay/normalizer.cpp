@@ -1,0 +1,45 @@
+#include "replay/normalizer.hpp"
+
+#include "util/strings.hpp"
+
+namespace parcel::replay {
+
+net::Url UrlNormalizer::normalize(const net::Url& url) {
+  if (url.query().empty()) return url;
+  std::string kept;
+  for (std::string_view param : util::split(url.query(), '&')) {
+    if (param.starts_with("r=")) continue;
+    if (!kept.empty()) kept += "&";
+    kept += std::string(param);
+  }
+  std::string rebuilt = url.scheme() + "://" + url.host() + url.path();
+  if (!kept.empty()) rebuilt += "?" + kept;
+  return net::Url::parse(rebuilt);
+}
+
+std::string UrlNormalizer::normalize_js(const std::string& content) {
+  static constexpr std::string_view kFrom = "fetchRand(";
+  static constexpr std::string_view kTo = "fetch(";
+  std::string out;
+  out.reserve(content.size());
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t hit = content.find(kFrom, pos);
+    if (hit == std::string::npos) {
+      out.append(content, pos, content.size() - pos);
+      break;
+    }
+    out.append(content, pos, hit - pos);
+    out.append(kTo);
+    pos = hit + kFrom.size();
+  }
+  // Preserve the wire size: replacing shrinks the text, pad with spaces.
+  if (out.size() < content.size()) out.append(content.size() - out.size(), ' ');
+  return out;
+}
+
+bool UrlNormalizer::has_randomized_fetch(const std::string& content) {
+  return content.find("fetchRand(") != std::string::npos;
+}
+
+}  // namespace parcel::replay

@@ -1,0 +1,29 @@
+// URL/content normalization for record-and-replay (paper §7.3).
+//
+// The paper modified web-page-replay to replace JS-generated random URL
+// components with constants so that every scheme requests byte-identical
+// objects. Our equivalent: rewrite `fetchRand("u")` statements to
+// `fetch("u")` in recorded JS bodies (padding to preserve byte size), and
+// strip the cache-busting `r` query parameter when matching URLs.
+#pragma once
+
+#include <string>
+
+#include "net/url.hpp"
+
+namespace parcel::replay {
+
+class UrlNormalizer {
+ public:
+  /// Remove cache-busting query parameters (`r=...`); other params kept.
+  [[nodiscard]] static net::Url normalize(const net::Url& url);
+
+  /// Rewrite randomized fetches to deterministic ones, preserving the
+  /// content's byte length exactly.
+  [[nodiscard]] static std::string normalize_js(const std::string& content);
+
+  /// Does this JS content contain randomized fetches?
+  [[nodiscard]] static bool has_randomized_fetch(const std::string& content);
+};
+
+}  // namespace parcel::replay

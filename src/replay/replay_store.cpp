@@ -1,0 +1,26 @@
+#include "replay/replay_store.hpp"
+
+#include "replay/normalizer.hpp"
+
+namespace parcel::replay {
+
+void ReplayStore::record(const web::WebPage& page) {
+  auto snapshot = std::make_unique<web::WebPage>(page.main_url());
+  for (const web::WebObject* obj : page.objects()) {
+    web::WebObject copy = *obj;
+    if (copy.content && UrlNormalizer::has_randomized_fetch(*copy.content)) {
+      copy.content = std::make_shared<const std::string>(
+          UrlNormalizer::normalize_js(*copy.content));
+      ++rewrites_;
+    }
+    snapshot->add(std::move(copy));
+  }
+  pages_[page.main_url().str()] = std::move(snapshot);
+}
+
+const web::WebPage* ReplayStore::find(const std::string& main_url) const {
+  auto it = pages_.find(main_url);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace parcel::replay

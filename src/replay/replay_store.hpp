@@ -1,0 +1,34 @@
+// ReplayStore: record a page once, replay the identical snapshot to every
+// scheme (the paper's web-page-replay methodology, §7.3). Recording
+// normalizes JS so randomized URLs become deterministic; the snapshot is
+// then hosted by ordinary OriginServers, so replay and live modes differ
+// only in page bytes and server placement — the schemes cannot tell.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "web/page.hpp"
+
+namespace parcel::replay {
+
+class ReplayStore {
+ public:
+  /// Snapshot `page` under its main URL. JS bodies with randomized
+  /// fetches are rewritten; everything else is shared by reference.
+  void record(const web::WebPage& page);
+
+  [[nodiscard]] const web::WebPage* find(const std::string& main_url) const;
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+  /// Number of objects whose content was rewritten during recording
+  /// (exposed so tests can assert the normalization actually ran).
+  [[nodiscard]] std::size_t rewrites() const { return rewrites_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<web::WebPage>> pages_;
+  std::size_t rewrites_ = 0;
+};
+
+}  // namespace parcel::replay

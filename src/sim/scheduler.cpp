@@ -1,0 +1,58 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace parcel::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("schedule_at: empty callback");
+  if (when < now_) when = now_;
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle{state};
+}
+
+EventHandle Scheduler::schedule_after(Duration delay,
+                                      std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // Copying out of the priority queue top is unavoidable with
+    // std::priority_queue; Entry's function object is small in practice.
+    Entry e = queue_.top();
+    queue_.pop();
+    if (e.state->cancelled) continue;
+    now_ = e.when;
+    e.state->fired = true;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+TimePoint Scheduler::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Scheduler::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace parcel::sim

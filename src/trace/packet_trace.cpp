@@ -1,0 +1,121 @@
+#include "trace/packet_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace parcel::trace {
+
+void PacketTrace::record(PacketRecord r) {
+  // Bursts are produced by multiple connections whose events interleave in
+  // time order already (the scheduler fires them in order), but promotion
+  // retiming can produce slight inversions; keep the trace sorted.
+  if (!records_.empty() && r.t < records_.back().t) {
+    auto it = std::upper_bound(
+        records_.begin(), records_.end(), r,
+        [](const PacketRecord& a, const PacketRecord& b) { return a.t < b.t; });
+    records_.insert(it, r);
+    return;
+  }
+  records_.push_back(r);
+}
+
+Bytes PacketTrace::total_bytes() const {
+  Bytes n = 0;
+  for (const auto& r : records_) n += r.bytes;
+  return n;
+}
+
+Bytes PacketTrace::downlink_bytes() const {
+  Bytes n = 0;
+  for (const auto& r : records_) {
+    if (r.dir == Direction::kDownlink) n += r.bytes;
+  }
+  return n;
+}
+
+Bytes PacketTrace::uplink_bytes() const {
+  Bytes n = 0;
+  for (const auto& r : records_) {
+    if (r.dir == Direction::kUplink) n += r.bytes;
+  }
+  return n;
+}
+
+TimePoint PacketTrace::first_time() const {
+  if (records_.empty()) throw std::logic_error("first_time on empty trace");
+  return records_.front().t;
+}
+
+TimePoint PacketTrace::last_time() const {
+  if (records_.empty()) throw std::logic_error("last_time on empty trace");
+  return records_.back().t;
+}
+
+std::optional<TimePoint> PacketTrace::first_syn_time() const {
+  for (const auto& r : records_) {
+    if (r.kind == PacketKind::kSyn) return r.t;
+  }
+  return std::nullopt;
+}
+
+std::optional<TimePoint> PacketTrace::last_time_of_objects(
+    std::span<const std::uint32_t> object_ids) const {
+  std::unordered_set<std::uint32_t> wanted(object_ids.begin(),
+                                           object_ids.end());
+  std::optional<TimePoint> last;
+  for (const auto& r : records_) {
+    if (r.object_id != 0 && wanted.count(r.object_id) > 0) {
+      if (!last || r.t > *last) last = r.t;
+    }
+  }
+  return last;
+}
+
+std::size_t PacketTrace::connection_count() const {
+  std::unordered_set<std::uint32_t> conns;
+  for (const auto& r : records_) conns.insert(r.conn_id);
+  return conns.size();
+}
+
+void PacketTrace::truncate_after(TimePoint cutoff) {
+  std::erase_if(records_,
+                [cutoff](const PacketRecord& r) { return r.t > cutoff; });
+}
+
+std::string PacketTrace::serialize() const {
+  std::string out;
+  char buf[128];
+  for (const auto& r : records_) {
+    std::snprintf(buf, sizeof(buf), "%.6f %u %u %lld %u %u\n", r.t.sec(),
+                  static_cast<unsigned>(r.dir), static_cast<unsigned>(r.kind),
+                  static_cast<long long>(r.bytes), r.conn_id, r.object_id);
+    out += buf;
+  }
+  return out;
+}
+
+PacketTrace PacketTrace::deserialize(const std::string& text) {
+  PacketTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double t = 0.0;
+    unsigned dir = 0, kind = 0, conn = 0, obj = 0;
+    long long bytes = 0;
+    if (std::sscanf(line.c_str(), "%lf %u %u %lld %u %u", &t, &dir, &kind,
+                    &bytes, &conn, &obj) != 6) {
+      throw std::invalid_argument("PacketTrace::deserialize: bad line: " +
+                                  line);
+    }
+    trace.record(PacketRecord{TimePoint::at_seconds(t),
+                              static_cast<Direction>(dir),
+                              static_cast<PacketKind>(kind), bytes, conn, obj});
+  }
+  return trace;
+}
+
+}  // namespace parcel::trace

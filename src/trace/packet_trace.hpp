@@ -1,0 +1,91 @@
+// Packet traces captured at the mobile device.
+//
+// The paper's methodology (§7.1) computes every metric post-hoc from a
+// packet capture on the phone: OLT is "the time between the first SYN and
+// the last ACK for all objects required to generate the onload event", TLT
+// uses all objects, and radio energy is computed by replaying the trace
+// through the ARO RRC/power model. We therefore make the trace the single
+// source of truth: the network substrate records every burst that crosses
+// the device's radio, tagged with connection and object identity, and the
+// analyzers consume it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace parcel::trace {
+
+using util::Bytes;
+using util::Duration;
+using util::TimePoint;
+
+enum class Direction : std::uint8_t { kUplink, kDownlink };
+
+enum class PacketKind : std::uint8_t {
+  kSyn,      // connection establishment (either direction)
+  kData,     // payload-carrying burst
+  kAck,      // bare acknowledgement / control
+  kFin,      // teardown
+};
+
+/// One captured radio burst. The simulator works at burst granularity
+/// (one record per TCP send window), which is the resolution the RRC
+/// machine needs: DRX timers are two orders of magnitude longer than a
+/// packet serialization time.
+struct PacketRecord {
+  TimePoint t;
+  Direction dir = Direction::kDownlink;
+  PacketKind kind = PacketKind::kData;
+  Bytes bytes = 0;
+  std::uint32_t conn_id = 0;
+  /// Object this burst belongs to; 0 when not attributable (handshakes).
+  std::uint32_t object_id = 0;
+};
+
+class PacketTrace {
+ public:
+  void record(PacketRecord r);
+
+  [[nodiscard]] std::span<const PacketRecord> records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] Bytes downlink_bytes() const;
+  [[nodiscard]] Bytes uplink_bytes() const;
+
+  [[nodiscard]] TimePoint first_time() const;
+  [[nodiscard]] TimePoint last_time() const;
+
+  /// First SYN in the trace; the paper's latency metrics are anchored here.
+  [[nodiscard]] std::optional<TimePoint> first_syn_time() const;
+
+  /// Last record attributable to any object in `object_ids`.
+  [[nodiscard]] std::optional<TimePoint> last_time_of_objects(
+      std::span<const std::uint32_t> object_ids) const;
+
+  /// Distinct connection ids seen (Table 1's "# of TCP connections").
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// Truncate to records with t <= cutoff (paper limits capture to 60 s).
+  void truncate_after(TimePoint cutoff);
+
+  void clear() { records_.clear(); }
+
+  /// Serialize to a simple line format ("t dir kind bytes conn obj") and
+  /// parse it back; used by the replay store and for debugging dumps.
+  [[nodiscard]] std::string serialize() const;
+  static PacketTrace deserialize(const std::string& text);
+
+ private:
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace parcel::trace

@@ -1,0 +1,44 @@
+#include "trace/trace_analyzer.hpp"
+
+namespace parcel::trace {
+
+std::optional<LatencyMetrics> TraceAnalyzer::latency_metrics(
+    const PacketTrace& trace, std::span<const std::uint32_t> onload_set) {
+  auto syn = trace.first_syn_time();
+  if (!syn || trace.empty()) return std::nullopt;
+
+  LatencyMetrics m;
+  auto onload_last = trace.last_time_of_objects(onload_set);
+  if (onload_last) m.olt = *onload_last - *syn;
+  m.tlt = trace.last_time() - *syn;
+  // Some tiny pages finish everything within the onload set; clamp so
+  // OLT <= TLT always holds.
+  if (m.olt > m.tlt) m.olt = m.tlt;
+  return m;
+}
+
+std::size_t TraceAnalyzer::count_gaps_longer_than(const PacketTrace& trace,
+                                                  util::Duration gap) {
+  std::size_t n = 0;
+  std::optional<util::TimePoint> prev;
+  for (const auto& r : trace.records()) {
+    if (r.kind != PacketKind::kData) continue;
+    if (prev && (r.t - *prev) > gap) ++n;
+    prev = r.t;
+  }
+  return n;
+}
+
+util::Bytes TraceAnalyzer::downlink_bytes_before(const PacketTrace& trace,
+                                                 util::TimePoint t) {
+  util::Bytes total = 0;
+  for (const auto& r : trace.records()) {
+    if (r.t > t) break;
+    if (r.dir == Direction::kDownlink && r.kind == PacketKind::kData) {
+      total += r.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace parcel::trace

@@ -1,0 +1,39 @@
+// Latency metric extraction from packet traces (paper §2.1 and §7.1).
+//
+// OLT (Onload Time): first SYN -> last ACK of the objects required for the
+// onload event. TLT (Total pageload time): first SYN -> last ACK over all
+// objects, absent user interaction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "trace/packet_trace.hpp"
+#include "util/units.hpp"
+
+namespace parcel::trace {
+
+struct LatencyMetrics {
+  util::Duration olt = util::Duration::zero();
+  util::Duration tlt = util::Duration::zero();
+};
+
+class TraceAnalyzer {
+ public:
+  /// Objects in `onload_set` are those needed to fire onload; the full
+  /// object universe is whatever appears in the trace.
+  static std::optional<LatencyMetrics> latency_metrics(
+      const PacketTrace& trace, std::span<const std::uint32_t> onload_set);
+
+  /// Time between consecutive payload bursts exceeding `gap` — the flat
+  /// segments visible in the paper's Fig 6a timeline for DIR.
+  static std::size_t count_gaps_longer_than(const PacketTrace& trace,
+                                            util::Duration gap);
+
+  /// Cumulative downlink bytes by time `t` (Fig 6a's y-axis).
+  static util::Bytes downlink_bytes_before(const PacketTrace& trace,
+                                           util::TimePoint t);
+};
+
+}  // namespace parcel::trace

@@ -1,0 +1,26 @@
+// Minimal leveled logger. The simulator is single-threaded per experiment,
+// so no synchronization is needed; multi-experiment benches run experiments
+// sequentially.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace parcel::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped cheaply.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, std::string_view component, std::string_view msg);
+
+/// Convenience wrappers; `component` identifies the module ("net.tcp",
+/// "core.proxy", ...).
+void log_debug(std::string_view component, std::string_view msg);
+void log_info(std::string_view component, std::string_view msg);
+void log_warn(std::string_view component, std::string_view msg);
+void log_error(std::string_view component, std::string_view msg);
+
+}  // namespace parcel::util

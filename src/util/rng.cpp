@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace parcel::util {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("weighted_index: empty weights");
+  }
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index: non-positive total weight");
+  }
+  double x = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace parcel::util

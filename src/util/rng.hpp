@@ -1,0 +1,82 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that a
+// whole experiment round can be replayed bit-for-bit. The paper controls
+// variability by replaying page snapshots and filtering for comparable
+// signal; we control it by seeding.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace parcel::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child stream; used to give each subsystem its
+  /// own stream so adding draws in one place does not perturb another.
+  [[nodiscard]] Rng fork() { return Rng{engine_()}; }
+
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  double lognormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  double normal(double mean, double stdev) {
+    std::normal_distribution<double> d(mean, stdev);
+    return d(engine_);
+  }
+
+  double pareto(double scale, double shape) {
+    // Inverse-CDF sampling; u in (0,1].
+    double u = 1.0 - uniform(0.0, 1.0);
+    return scale / std::pow(u, 1.0 / shape);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace parcel::util

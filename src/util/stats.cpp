@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace parcel::util {
+
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile of empty sample");
+  }
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double p) {
+  auto v = sorted_copy(values);
+  return percentile_sorted(v, p);
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean of empty sample");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stdev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  double m = mean(values);
+  double ss = 0.0;
+  for (double x : values) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double coeff_of_variation(std::span<const double> values) {
+  double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return stdev(values) / m;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("pearson_correlation: need paired samples");
+  }
+  double mx = mean(xs);
+  double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  return percentile_sorted(sorted_, q * 100.0);
+}
+
+std::string Cdf::to_table(std::size_t max_rows) const {
+  std::string out;
+  if (sorted_.empty()) return out;
+  std::size_t step = std::max<std::size_t>(1, sorted_.size() / max_rows);
+  char buf[64];
+  for (std::size_t i = 0; i < sorted_.size(); i += step) {
+    double frac =
+        static_cast<double>(i + 1) / static_cast<double>(sorted_.size());
+    std::snprintf(buf, sizeof(buf), "%12.4f %8.4f\n", sorted_[i], frac);
+    out += buf;
+  }
+  return out;
+}
+
+void Summary::add(double x) { values_.push_back(x); }
+
+double Summary::mean() const { return util::mean(values_); }
+double Summary::median() const { return util::median(values_); }
+double Summary::min() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+double Summary::max() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+double Summary::percentile(double p) const {
+  return util::percentile(values_, p);
+}
+double Summary::stdev() const { return util::stdev(values_); }
+
+}  // namespace parcel::util

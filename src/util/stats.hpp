@@ -1,0 +1,73 @@
+// Descriptive statistics used throughout the evaluation harness.
+//
+// The paper reports per-page *medians* over tens of runs, CDFs of those
+// medians across pages, a Pearson correlation (Fig 6c), and a coefficient
+// of variation (§7.3). This header provides exactly those primitives.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parcel::util {
+
+/// Interpolated percentile, p in [0, 100]. Input need not be sorted.
+double percentile(std::span<const double> values, double p);
+
+double median(std::span<const double> values);
+double mean(std::span<const double> values);
+double stdev(std::span<const double> values);
+
+/// Coefficient of variation: stdev / mean (paper §7.3 uses this to show
+/// page variability).
+double coeff_of_variation(std::span<const double> values);
+
+/// Pearson correlation coefficient (paper Fig 6c reports 0.83).
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// Empirical CDF over a sample, evaluated at each sample point; used to
+/// print the figures' CDF series.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF (quantile), q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return sorted_;
+  }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+
+  /// Render as "value cdf" rows suitable for plotting, downsampled to at
+  /// most `max_rows` points.
+  [[nodiscard]] std::string to_table(std::size_t max_rows = 40) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Running summary accumulator for streams of observations.
+class Summary {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double stdev() const;
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace parcel::util

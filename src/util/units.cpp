@@ -1,0 +1,25 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace parcel::util {
+
+std::string Duration::str() const {
+  char buf[48];
+  if (secs_ < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us());
+  } else if (secs_ < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", secs_);
+  }
+  return buf;
+}
+
+std::string TimePoint::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.4fs", secs_);
+  return buf;
+}
+
+}  // namespace parcel::util

@@ -1,0 +1,185 @@
+// Strong types for simulated time and data sizes.
+//
+// The whole simulator runs on a single notion of time: seconds held in a
+// double. Wrapping it in Duration/TimePoint prevents the classic bug of
+// mixing "seconds since epoch" with "length of an interval", and gives a
+// natural place for unit-carrying constructors (ms/us) and formatting.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace parcel::util {
+
+/// Length of a time interval, in simulated seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration seconds(double s) { return Duration{s}; }
+  constexpr static Duration millis(double ms) { return Duration{ms / 1e3}; }
+  constexpr static Duration micros(double us) { return Duration{us / 1e6}; }
+  constexpr static Duration zero() { return Duration{0.0}; }
+  constexpr static Duration infinity() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return secs_; }
+  [[nodiscard]] constexpr double ms() const { return secs_ * 1e3; }
+  [[nodiscard]] constexpr double us() const { return secs_ * 1e6; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return secs_ == 0.0; }
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(secs_);
+  }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{secs_ + o.secs_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{secs_ - o.secs_};
+  }
+  constexpr Duration operator*(double k) const { return Duration{secs_ * k}; }
+  constexpr Duration operator/(double k) const { return Duration{secs_ / k}; }
+  constexpr double operator/(Duration o) const { return secs_ / o.secs_; }
+  constexpr Duration& operator+=(Duration o) {
+    secs_ += o.secs_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    secs_ -= o.secs_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Duration(double s) : secs_(s) {}
+  double secs_ = 0.0;
+};
+
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+/// Absolute point on the simulation clock (seconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint at_seconds(double s) { return TimePoint{s}; }
+  constexpr static TimePoint origin() { return TimePoint{0.0}; }
+  constexpr static TimePoint infinity() {
+    return TimePoint{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return secs_; }
+  [[nodiscard]] constexpr double ms() const { return secs_ * 1e3; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{secs_ + d.sec()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{secs_ - d.sec()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::seconds(secs_ - o.secs_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    secs_ += d.sec();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit TimePoint(double s) : secs_(s) {}
+  double secs_ = 0.0;
+};
+
+/// Data size in bytes. Plain integer alias; the helpers keep call sites
+/// readable (kib(64), mib(2)) without a full strong type, since byte counts
+/// rarely get confused with anything else in this codebase.
+using Bytes = std::int64_t;
+
+constexpr Bytes kib(double k) { return static_cast<Bytes>(k * 1024.0); }
+constexpr Bytes mib(double m) {
+  return static_cast<Bytes>(m * 1024.0 * 1024.0);
+}
+
+/// Link and radio rates, bits per second.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+  constexpr static BitRate bps(double b) { return BitRate{b}; }
+  constexpr static BitRate kbps(double k) { return BitRate{k * 1e3}; }
+  constexpr static BitRate mbps(double m) { return BitRate{m * 1e6}; }
+
+  [[nodiscard]] constexpr double bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  /// Time to serialize `n` bytes at this rate.
+  [[nodiscard]] constexpr Duration transmit_time(Bytes n) const {
+    return Duration::seconds(static_cast<double>(n) * 8.0 / bps_);
+  }
+
+  constexpr BitRate operator*(double k) const { return BitRate{bps_ * k}; }
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+ private:
+  constexpr explicit BitRate(double b) : bps_(b) {}
+  double bps_ = 0.0;
+};
+
+/// Power draw in watts and energy in joules, used by the LTE energy model.
+class Power {
+ public:
+  constexpr Power() = default;
+  constexpr static Power watts(double w) { return Power{w}; }
+  constexpr static Power milliwatts(double mw) { return Power{mw / 1e3}; }
+
+  [[nodiscard]] constexpr double w() const { return watts_; }
+  [[nodiscard]] constexpr double mw() const { return watts_ * 1e3; }
+
+  constexpr Power operator+(Power o) const { return Power{watts_ + o.watts_}; }
+  constexpr Power operator-(Power o) const { return Power{watts_ - o.watts_}; }
+  constexpr auto operator<=>(const Power&) const = default;
+
+ private:
+  constexpr explicit Power(double w) : watts_(w) {}
+  double watts_ = 0.0;
+};
+
+class Energy {
+ public:
+  constexpr Energy() = default;
+  constexpr static Energy joules(double j) { return Energy{j}; }
+  constexpr static Energy zero() { return Energy{0.0}; }
+
+  [[nodiscard]] constexpr double j() const { return joules_; }
+
+  constexpr Energy operator+(Energy o) const {
+    return Energy{joules_ + o.joules_};
+  }
+  constexpr Energy operator-(Energy o) const {
+    return Energy{joules_ - o.joules_};
+  }
+  constexpr Energy& operator+=(Energy o) {
+    joules_ += o.joules_;
+    return *this;
+  }
+  constexpr double operator/(Energy o) const { return joules_ / o.joules_; }
+  constexpr auto operator<=>(const Energy&) const = default;
+
+ private:
+  constexpr explicit Energy(double j) : joules_(j) {}
+  double joules_ = 0.0;
+};
+
+constexpr Energy operator*(Power p, Duration d) {
+  return Energy::joules(p.w() * d.sec());
+}
+constexpr Energy operator*(Duration d, Power p) { return p * d; }
+
+}  // namespace parcel::util

@@ -1,0 +1,73 @@
+#include "web/css.hpp"
+
+#include "util/strings.hpp"
+
+namespace parcel::web {
+
+namespace {
+
+std::string_view unquote(std::string_view s) {
+  s = util::trim(s);
+  if (s.size() >= 2 && (s.front() == '"' || s.front() == '\'') &&
+      s.back() == s.front()) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Reference> MiniCss::scan(std::string_view css_raw) {
+  // Blank out comments first so url(...) inside them is never matched.
+  std::string cleaned(css_raw);
+  std::size_t c = 0;
+  while ((c = cleaned.find("/*", c)) != std::string::npos) {
+    std::size_t end = cleaned.find("*/", c + 2);
+    std::size_t stop = end == std::string::npos ? cleaned.size() : end + 2;
+    for (std::size_t i = c; i < stop; ++i) cleaned[i] = ' ';
+    c = stop;
+  }
+  std::string_view css(cleaned);
+
+  std::vector<Reference> refs;
+  std::size_t pos = 0;
+  while (pos < css.size()) {
+    std::size_t imp = util::ifind(css, "@import", pos);
+    std::size_t url = util::ifind(css, "url(", pos);
+    if (imp != std::string_view::npos && (url == std::string_view::npos || imp < url)) {
+      std::size_t semi = css.find(';', imp);
+      if (semi == std::string_view::npos) break;
+      std::string_view clause = css.substr(imp + 7, semi - imp - 7);
+      // Either @import "x.css" or @import url("x.css").
+      std::size_t u = util::ifind(clause, "url(");
+      std::string_view target;
+      if (u != std::string_view::npos) {
+        std::size_t close = clause.find(')', u);
+        if (close != std::string_view::npos) {
+          target = unquote(clause.substr(u + 4, close - u - 4));
+        }
+      } else {
+        target = unquote(clause);
+      }
+      if (!target.empty()) {
+        refs.push_back(Reference{std::string(target), ObjectType::kCss,
+                                 false, false});
+      }
+      pos = semi + 1;
+      continue;
+    }
+    if (url == std::string_view::npos) break;
+    std::size_t close = css.find(')', url);
+    if (close == std::string_view::npos) break;
+    std::string_view target = unquote(css.substr(url + 4, close - url - 4));
+    if (!target.empty()) {
+      refs.push_back(Reference{std::string(target),
+                               infer_type(target, ObjectType::kImage), false,
+                               false});
+    }
+    pos = close + 1;
+  }
+  return refs;
+}
+
+}  // namespace parcel::web

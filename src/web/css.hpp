@@ -1,0 +1,16 @@
+// MiniCss: scans stylesheet text for url(...) resources and @import rules.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "web/reference.hpp"
+
+namespace parcel::web {
+
+class MiniCss {
+ public:
+  static std::vector<Reference> scan(std::string_view css);
+};
+
+}  // namespace parcel::web

@@ -1,0 +1,79 @@
+// PageGenerator: synthesizes realistic page corpora.
+//
+// The paper evaluates on 34 pages drawn from the Alexa top-500 and
+// publishes the corpus statistics we target (§2.1, §7.2): 40% of pages
+// have >= 100 objects (and >= 20 JS files); object sizes have
+// p50/p80/p95 = 18/107/386 KB; the median page is 1.04 MB and pages range
+// from a few KB to 5 MB; objects spread over many domains; some objects
+// are only discoverable by executing JS; async ad/widget scripts request
+// objects after onload. Generated pages carry real HTML/CSS/JS text in
+// the MiniJs dialect so every browser and the PARCEL proxy do actual
+// scanning work to discover the dependency graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "web/page.hpp"
+
+namespace parcel::web {
+
+using util::kib;
+using util::mib;
+
+struct PageSpec {
+  std::string site = "site00.example.com";
+  int object_count = 80;
+  Bytes total_bytes = mib(1.0);
+  int extra_domains = 6;
+  double sync_js_fraction = 0.55;
+  int max_js_chain_depth = 5;
+  /// Product-gallery items wired to onClick handlers (the §8.2
+  /// interactive-session page); 0 disables.
+  int gallery_items = 0;
+  std::uint64_t seed = 1;
+};
+
+class PageGenerator {
+ public:
+  explicit PageGenerator(std::uint64_t corpus_seed)
+      : corpus_rng_(corpus_seed) {}
+
+  /// Deterministically generate one page from a spec.
+  static WebPage generate(const PageSpec& spec);
+
+  /// Draw a page spec from the corpus distributions (page `index` only
+  /// names the site; the statistics come from this generator's stream).
+  PageSpec sample_spec(int index);
+
+  /// The paper's 34-page evaluation set (or any other count).
+  std::vector<PageSpec> corpus_specs(int pages);
+
+  /// The ebay-like interactive page used in §8.2 and Fig 7a.
+  static PageSpec interactive_spec(std::uint64_t seed);
+
+  /// The taobao-like heavyweight page of Fig 6a (~3.5 MB, ~400 objects).
+  static PageSpec heavyweight_spec(std::uint64_t seed);
+
+  /// A "live reload" of the same site: ad rotation changes the object
+  /// census between back-to-back loads (§7.3 measured a coefficient of
+  /// variation of object count >= 0.5 for half the pages). `reload`
+  /// indexes the visit.
+  static PageSpec live_variant(const PageSpec& base, int reload);
+
+  /// A subsequent page of the same site, as in a browsing session (§7.3:
+  /// "a session consists of a sequence of webpage downloads ... some
+  /// objects in subsequent pages could potentially be cached"). The new
+  /// page shares the first page's framework assets — its stylesheets,
+  /// most synchronous scripts, and everything those pull in — and adds
+  /// fresh article images. `index` names the page (/p<index>.html).
+  static WebPage follow_page(const WebPage& first, std::uint64_t seed,
+                             int index);
+
+ private:
+  util::Rng corpus_rng_;
+};
+
+}  // namespace parcel::web

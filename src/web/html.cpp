@@ -1,0 +1,136 @@
+#include "web/html.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace parcel::web {
+
+namespace {
+using util::ifind;
+
+bool has_flag_attr(std::string_view tag, std::string_view attr) {
+  // Attribute present without a value (e.g. "async").
+  std::size_t pos = 0;
+  while ((pos = ifind(tag, attr, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || std::isspace(static_cast<unsigned char>(tag[pos - 1]));
+    std::size_t end = pos + attr.size();
+    bool right_ok = end >= tag.size() ||
+                    std::isspace(static_cast<unsigned char>(tag[end])) ||
+                    tag[end] == '>' || tag[end] == '=';
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view MiniHtml::attribute(std::string_view tag,
+                                     std::string_view attr) {
+  std::string pattern = std::string(attr) + "=";
+  std::size_t pos = 0;
+  while ((pos = ifind(tag, pattern, pos)) != std::string_view::npos) {
+    bool left_ok =
+        pos == 0 || std::isspace(static_cast<unsigned char>(tag[pos - 1]));
+    if (!left_ok) {
+      pos += pattern.size();
+      continue;
+    }
+    std::size_t v = pos + pattern.size();
+    if (v >= tag.size()) return {};
+    char quote = tag[v];
+    if (quote == '"' || quote == '\'') {
+      std::size_t close = tag.find(quote, v + 1);
+      if (close == std::string_view::npos) return {};
+      return tag.substr(v + 1, close - v - 1);
+    }
+    std::size_t end = v;
+    while (end < tag.size() &&
+           !std::isspace(static_cast<unsigned char>(tag[end])) &&
+           tag[end] != '>') {
+      ++end;
+    }
+    return tag.substr(v, end - v);
+  }
+  return {};
+}
+
+std::vector<HtmlToken> MiniHtml::scan(std::string_view html) {
+  std::vector<HtmlToken> tokens;
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    std::size_t open = html.find('<', pos);
+    if (open == std::string_view::npos) break;
+    // Skip comments wholesale.
+    if (html.substr(open).starts_with("<!--")) {
+      std::size_t close = html.find("-->", open);
+      pos = close == std::string_view::npos ? html.size() : close + 3;
+      continue;
+    }
+    std::size_t close = html.find('>', open);
+    if (close == std::string_view::npos) break;
+    std::string_view tag = html.substr(open, close - open + 1);
+    pos = close + 1;
+
+    if (util::starts_with_ignore_case(tag, "<script")) {
+      std::string_view src = attribute(tag, "src");
+      bool async = has_flag_attr(tag, "async") || has_flag_attr(tag, "defer");
+      // Find the matching </script>; anything between is inline code.
+      std::size_t end_tag = ifind(html, "</script>", pos);
+      std::string_view body =
+          end_tag == std::string_view::npos
+              ? std::string_view{}
+              : html.substr(pos, end_tag - pos);
+      pos = end_tag == std::string_view::npos ? html.size() : end_tag + 9;
+      if (!src.empty()) {
+        HtmlToken t;
+        t.kind = HtmlToken::Kind::kReference;
+        t.ref = Reference{std::string(src),
+                          async ? ObjectType::kJsAsync : ObjectType::kJs,
+                          async, false};
+        tokens.push_back(std::move(t));
+      } else if (!util::trim(body).empty()) {
+        HtmlToken t;
+        t.kind = HtmlToken::Kind::kInlineScript;
+        t.script = std::string(body);
+        tokens.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (util::starts_with_ignore_case(tag, "<link")) {
+      std::string_view rel = attribute(tag, "rel");
+      std::string_view href = attribute(tag, "href");
+      if (util::iequals(rel, "stylesheet") && !href.empty()) {
+        HtmlToken t;
+        t.ref = Reference{std::string(href), ObjectType::kCss, false, false};
+        tokens.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (util::starts_with_ignore_case(tag, "<img")) {
+      std::string_view src = attribute(tag, "src");
+      if (!src.empty()) {
+        HtmlToken t;
+        t.ref = Reference{std::string(src),
+                          infer_type(src, ObjectType::kImage), false, false};
+        tokens.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (util::starts_with_ignore_case(tag, "<video") ||
+        util::starts_with_ignore_case(tag, "<source")) {
+      std::string_view src = attribute(tag, "src");
+      if (!src.empty()) {
+        HtmlToken t;
+        t.ref = Reference{std::string(src),
+                          infer_type(src, ObjectType::kMedia), false, false};
+        tokens.push_back(std::move(t));
+      }
+      continue;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace parcel::web

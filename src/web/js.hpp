@@ -1,0 +1,51 @@
+// MiniJs: a deliberately small JavaScript dialect and its "interpreter".
+//
+// PageGenerator emits real statement text in this dialect; executing a
+// script means scanning its statements, charging work units for compute,
+// and revealing the dependencies the statements fetch. This captures the
+// property the paper's design turns on: some objects are only
+// discoverable by *executing* JS (dynamically identified, §4.2), which is
+// why a dumb forwarding proxy cannot identify all objects and why the
+// PARCEL proxy must "behave like a browser" (§5.1).
+//
+// Statements (one per line, C-style // comments allowed):
+//   compute(W);                    -- pure computation costing W units
+//   fetch("url");                  -- XHR; reveals a JSON dependency
+//   fetchRand("url");              -- XHR with a cache-busting random query
+//   loadScript("url");             -- injects a synchronous script
+//   loadScriptAsync("url");        -- injects an async script
+//   document.write('<img src="url">');  -- reveals an image
+//   onClick(N, "url");             -- interaction handler: click #N shows
+//                                     the (already fetched) url; used by
+//                                     the §8.2 interactivity experiment
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "web/reference.hpp"
+
+namespace parcel::web {
+
+struct JsClickHandler {
+  int click_index = 0;
+  std::string target;  // object displayed on that click
+};
+
+struct JsProgram {
+  double work_units = 0.0;
+  std::vector<Reference> references;
+  std::vector<JsClickHandler> click_handlers;
+};
+
+class MiniJs {
+ public:
+  /// Parse+interpret a script body. Throws std::invalid_argument on a
+  /// malformed statement (generator bugs should fail loudly).
+  static JsProgram run(std::string_view code);
+
+  /// Work units for a script without collecting references.
+  static double work_of(std::string_view code) { return run(code).work_units; }
+};
+
+}  // namespace parcel::web

@@ -1,0 +1,127 @@
+#include "web/mhtml.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace parcel::web {
+
+namespace {
+constexpr std::string_view kBoundary = "----=_ParcelBundleBoundary";
+constexpr std::string_view kHeader =
+    "MIME-Version: 1.0\r\n"
+    "Content-Type: multipart/related; boundary=\"----=_ParcelBundleBoundary\"\r\n"
+    "\r\n";
+}  // namespace
+
+void MhtmlWriter::add(const WebObject& object) {
+  add_raw(object.url, std::string(mime_type(object.type)), object.size,
+          object.content);
+}
+
+void MhtmlWriter::add_raw(const net::Url& location,
+                          const std::string& content_type, Bytes body_size,
+                          std::shared_ptr<const std::string> content) {
+  MhtmlPart part;
+  part.location = location;
+  part.content_type = content_type;
+  part.body_size = body_size;
+  part.content = std::move(content);
+  parts_.push_back(std::move(part));
+}
+
+Bytes MhtmlWriter::payload_bytes() const {
+  Bytes n = 0;
+  for (const auto& p : parts_) n += p.body_size;
+  return n;
+}
+
+std::string MhtmlWriter::serialize() const {
+  std::string out(kHeader);
+  for (const auto& p : parts_) {
+    out += "--";
+    out += kBoundary;
+    out += "\r\n";
+    out += "Content-Location: " + p.location.str() + "\r\n";
+    out += "Content-Type: " + p.content_type + "\r\n";
+    out += util::ssprintf("Content-Length: %lld\r\n",
+                          static_cast<long long>(p.body_size));
+    out += p.content ? "X-Parcel-Body: text\r\n" : "X-Parcel-Body: opaque\r\n";
+    out += "\r\n";
+    if (p.content) {
+      out += *p.content;
+    } else {
+      out.append(static_cast<std::size_t>(p.body_size), 'x');
+    }
+    out += "\r\n";
+  }
+  out += "--";
+  out += kBoundary;
+  out += "--\r\n";
+  return out;
+}
+
+std::vector<MhtmlPart> MhtmlReader::parse(const std::string& text) {
+  std::vector<MhtmlPart> parts;
+  std::string delim = "--" + std::string(kBoundary);
+  std::size_t pos = text.find(delim);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument("MhtmlReader: no boundary found");
+  }
+  while (true) {
+    pos += delim.size();
+    if (text.compare(pos, 2, "--") == 0) break;  // terminator
+    if (text.compare(pos, 2, "\r\n") != 0) {
+      throw std::invalid_argument("MhtmlReader: malformed boundary line");
+    }
+    pos += 2;
+    // Headers until blank line.
+    MhtmlPart part;
+    bool opaque = true;
+    while (true) {
+      std::size_t eol = text.find("\r\n", pos);
+      if (eol == std::string::npos) {
+        throw std::invalid_argument("MhtmlReader: truncated headers");
+      }
+      std::string_view line(text.data() + pos, eol - pos);
+      pos = eol + 2;
+      if (line.empty()) break;
+      auto colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        throw std::invalid_argument("MhtmlReader: bad header line");
+      }
+      std::string_view name = line.substr(0, colon);
+      std::string_view value = util::trim(line.substr(colon + 1));
+      if (util::iequals(name, "Content-Location")) {
+        part.location = net::Url::parse(value);
+      } else if (util::iequals(name, "Content-Type")) {
+        part.content_type = std::string(value);
+      } else if (util::iequals(name, "Content-Length")) {
+        part.body_size = std::stoll(std::string(value));
+      } else if (util::iequals(name, "X-Parcel-Body")) {
+        opaque = util::iequals(value, "opaque");
+      }
+    }
+    if (pos + static_cast<std::size_t>(part.body_size) + 2 > text.size()) {
+      throw std::invalid_argument("MhtmlReader: truncated body");
+    }
+    if (!opaque) {
+      part.content = std::make_shared<const std::string>(
+          text.substr(pos, static_cast<std::size_t>(part.body_size)));
+    }
+    pos += static_cast<std::size_t>(part.body_size);
+    if (text.compare(pos, 2, "\r\n") != 0) {
+      throw std::invalid_argument("MhtmlReader: missing body terminator");
+    }
+    pos += 2;
+    std::size_t next = text.find(delim, pos);
+    if (next == std::string::npos) {
+      throw std::invalid_argument("MhtmlReader: missing next boundary");
+    }
+    pos = next;
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace parcel::web

@@ -1,0 +1,57 @@
+// MHTML bundle codec (paper §5.1).
+//
+// PARCEL transfers objects from proxy to client as MHTML: a multipart
+// document where each part carries the object's HTTP headers
+// (Content-Location, Content-Type, Content-Length) followed by its body.
+// We implement the writer and parser for real — the proxy serializes, the
+// bytes (counted exactly) cross the simulated radio, and the client
+// parses the text back into objects. Opaque bodies (images) are carried
+// as filler of the correct length, as only their size matters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/url.hpp"
+#include "web/object.hpp"
+
+namespace parcel::web {
+
+struct MhtmlPart {
+  net::Url location;
+  std::string content_type;
+  Bytes body_size = 0;
+  /// Body text for parseable types; null for opaque bodies.
+  std::shared_ptr<const std::string> content;
+};
+
+class MhtmlWriter {
+ public:
+  void add(const WebObject& object);
+  void add_raw(const net::Url& location, const std::string& content_type,
+               Bytes body_size, std::shared_ptr<const std::string> content);
+
+  [[nodiscard]] std::size_t part_count() const { return parts_.size(); }
+  [[nodiscard]] bool empty() const { return parts_.empty(); }
+
+  /// Total payload bytes (bodies only, before MHTML framing).
+  [[nodiscard]] Bytes payload_bytes() const;
+
+  /// Serialize; the returned string's size is the exact wire size.
+  [[nodiscard]] std::string serialize() const;
+
+  void clear() { parts_.clear(); }
+
+ private:
+  std::vector<MhtmlPart> parts_;
+};
+
+class MhtmlReader {
+ public:
+  /// Parse a serialized bundle. Throws std::invalid_argument on framing
+  /// errors (missing boundary / truncated part).
+  static std::vector<MhtmlPart> parse(const std::string& text);
+};
+
+}  // namespace parcel::web

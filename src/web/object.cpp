@@ -1,0 +1,65 @@
+#include "web/object.hpp"
+
+#include <stdexcept>
+
+namespace parcel::web {
+
+std::string_view to_string(ObjectType t) {
+  switch (t) {
+    case ObjectType::kHtml: return "html";
+    case ObjectType::kCss: return "css";
+    case ObjectType::kJs: return "js";
+    case ObjectType::kJsAsync: return "js-async";
+    case ObjectType::kImage: return "image";
+    case ObjectType::kFont: return "font";
+    case ObjectType::kJson: return "json";
+    case ObjectType::kMedia: return "media";
+  }
+  return "?";
+}
+
+std::string_view mime_type(ObjectType t) {
+  switch (t) {
+    case ObjectType::kHtml: return "text/html";
+    case ObjectType::kCss: return "text/css";
+    case ObjectType::kJs: return "application/javascript";
+    case ObjectType::kJsAsync: return "application/javascript";
+    case ObjectType::kImage: return "image/jpeg";
+    case ObjectType::kFont: return "font/woff2";
+    case ObjectType::kJson: return "application/json";
+    case ObjectType::kMedia: return "video/mp4";
+  }
+  return "application/octet-stream";
+}
+
+ObjectType type_from_mime(std::string_view mime) {
+  if (mime == "text/html") return ObjectType::kHtml;
+  if (mime == "text/css") return ObjectType::kCss;
+  if (mime == "application/javascript") return ObjectType::kJs;
+  if (mime == "image/jpeg") return ObjectType::kImage;
+  if (mime == "font/woff2") return ObjectType::kFont;
+  if (mime == "application/json") return ObjectType::kJson;
+  if (mime == "video/mp4") return ObjectType::kMedia;
+  return ObjectType::kImage;
+}
+
+bool is_parseable(ObjectType t) {
+  switch (t) {
+    case ObjectType::kHtml:
+    case ObjectType::kCss:
+    case ObjectType::kJs:
+    case ObjectType::kJsAsync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::string& WebObject::text() const {
+  if (!content) {
+    throw std::logic_error("WebObject::text: no content for " + url.str());
+  }
+  return *content;
+}
+
+}  // namespace parcel::web

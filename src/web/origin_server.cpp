@@ -1,0 +1,68 @@
+#include "web/origin_server.hpp"
+
+#include <memory>
+
+namespace parcel::web {
+
+OriginServer::OriginServer(sim::Scheduler& sched, std::string domain)
+    : sched_(sched), domain_(std::move(domain)) {}
+
+void OriginServer::host(const WebPage& page) {
+  for (const WebObject* obj : page.objects()) {
+    if (obj->url.host() != domain_) continue;
+    by_url_[obj->url.str()] = obj;
+    by_normalized_[obj->url.without_query()] = obj;
+  }
+}
+
+const WebObject* OriginServer::lookup(const net::Url& url) const {
+  auto it = by_url_.find(url.str());
+  if (it != by_url_.end()) return it->second;
+  auto norm = by_normalized_.find(url.without_query());
+  if (norm != by_normalized_.end()) return norm->second;
+  return nullptr;
+}
+
+void OriginServer::handle(const net::HttpRequest& request,
+                          std::function<void(net::HttpResponse)> respond) {
+  ++served_;
+  if (request.method == net::HttpMethod::kPost) {
+    net::HttpResponse resp;
+    resp.url = request.url;
+    if (post_handler_) {
+      resp = post_handler_(request);
+    } else {
+      resp.status = 204;
+      resp.body_bytes = 0;
+    }
+    sched_.schedule_after(Duration::millis(20 * think_scale_),
+                          [resp = std::move(resp),
+                           respond = std::move(respond)]() mutable {
+                            respond(std::move(resp));
+                          });
+    return;
+  }
+
+  const WebObject* obj = lookup(request.url);
+  net::HttpResponse resp;
+  resp.url = request.url;
+  Duration think = Duration::millis(15);
+  if (obj == nullptr) {
+    ++not_found_;
+    resp.status = 404;
+    resp.content_type = "text/html";
+    resp.body_bytes = 512;
+  } else {
+    resp.status = 200;
+    resp.content_type = std::string(mime_type(obj->type));
+    resp.body_bytes = obj->size;
+    resp.content = obj->content;
+    think = obj->server_think * think_scale_;
+  }
+  sched_.schedule_after(think, [resp = std::move(resp),
+                                respond = std::move(respond)]() mutable {
+    respond(std::move(resp));
+  });
+}
+
+}  // namespace parcel::web

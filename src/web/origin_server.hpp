@@ -1,0 +1,59 @@
+// OriginServer: the content web server for one domain.
+//
+// Serves the objects of hosted pages with per-object generation latency.
+// Unknown URLs get a small 404. Cache-busted URLs (random query strings)
+// resolve to the canonical object, as real CDNs and the paper's replay
+// rig do. POST requests are answered with 204 unless a handler is
+// registered (used to exercise PARCEL's POST relay path, §4.5).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/http.hpp"
+#include "sim/scheduler.hpp"
+#include "web/page.hpp"
+
+namespace parcel::web {
+
+class OriginServer final : public net::HttpEndpoint {
+ public:
+  OriginServer(sim::Scheduler& sched, std::string domain);
+
+  /// Register this domain's slice of `page`. The page must outlive the
+  /// server. Safe to host multiple pages.
+  void host(const WebPage& page);
+
+  void handle(const net::HttpRequest& request,
+              std::function<void(net::HttpResponse)> respond) override;
+
+  /// Optional handler for POST bodies; returns the response. When unset,
+  /// POSTs get 204 No Content.
+  using PostHandler =
+      std::function<net::HttpResponse(const net::HttpRequest&)>;
+  void set_post_handler(PostHandler handler) {
+    post_handler_ = std::move(handler);
+  }
+
+  /// Scale every object's think time (models slow origins).
+  void set_think_scale(double scale) { think_scale_ = scale; }
+
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+  [[nodiscard]] std::size_t requests_served() const { return served_; }
+  [[nodiscard]] std::size_t not_found_count() const { return not_found_; }
+
+ private:
+  [[nodiscard]] const WebObject* lookup(const net::Url& url) const;
+
+  sim::Scheduler& sched_;
+  std::string domain_;
+  std::map<std::string, const WebObject*> by_url_;
+  std::map<std::string, const WebObject*> by_normalized_;
+  PostHandler post_handler_;
+  double think_scale_ = 1.0;
+  std::size_t served_ = 0;
+  std::size_t not_found_ = 0;
+};
+
+}  // namespace parcel::web

@@ -1,0 +1,87 @@
+#include "web/page.hpp"
+
+#include <stdexcept>
+
+namespace parcel::web {
+
+void WebPage::add(WebObject object) {
+  std::string key = object.url.str();
+  if (objects_.contains(key)) {
+    throw std::invalid_argument("WebPage::add: duplicate object " + key);
+  }
+  by_normalized_.emplace(object.url.without_query(), key);
+  objects_.emplace(std::move(key), std::move(object));
+}
+
+const WebObject* WebPage::find(const net::Url& url) const {
+  auto it = objects_.find(url.str());
+  if (it != objects_.end()) return &it->second;
+  auto norm = by_normalized_.find(url.without_query());
+  if (norm != by_normalized_.end()) {
+    auto hit = objects_.find(norm->second);
+    if (hit != objects_.end()) return &hit->second;
+  }
+  return nullptr;
+}
+
+const WebObject& WebPage::main() const {
+  const WebObject* obj = find(main_url_);
+  if (obj == nullptr) {
+    throw std::logic_error("WebPage: main document missing: " +
+                           main_url_.str());
+  }
+  return *obj;
+}
+
+Bytes WebPage::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [_, obj] : objects_) total += obj.size;
+  return total;
+}
+
+Bytes WebPage::onload_bytes() const {
+  Bytes total = 0;
+  for (const auto& [_, obj] : objects_) {
+    if (!obj.post_onload) total += obj.size;
+  }
+  return total;
+}
+
+std::size_t WebPage::count_of(ObjectType t) const {
+  std::size_t n = 0;
+  for (const auto& [_, obj] : objects_) {
+    if (obj.type == t) ++n;
+  }
+  return n;
+}
+
+std::vector<const WebObject*> WebPage::objects() const {
+  std::vector<const WebObject*> out;
+  out.reserve(objects_.size());
+  for (const auto& [_, obj] : objects_) out.push_back(&obj);
+  return out;
+}
+
+std::vector<const WebObject*> WebPage::objects_on(
+    const std::string& domain) const {
+  std::vector<const WebObject*> out;
+  for (const auto& [_, obj] : objects_) {
+    if (obj.url.host() == domain) out.push_back(&obj);
+  }
+  return out;
+}
+
+std::set<std::string> WebPage::domains() const {
+  std::set<std::string> out;
+  for (const auto& [_, obj] : objects_) out.insert(obj.url.host());
+  return out;
+}
+
+std::vector<WebObject*> WebPage::mutable_objects() {
+  std::vector<WebObject*> out;
+  out.reserve(objects_.size());
+  for (auto& [_, obj] : objects_) out.push_back(&obj);
+  return out;
+}
+
+}  // namespace parcel::web

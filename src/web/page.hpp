@@ -1,0 +1,53 @@
+// WebPage: the complete set of objects a page pulls in, with the main
+// document as the root. Pages are generated (PageGenerator) or recorded
+// (ReplayStore); origin servers serve slices of them by domain.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/url.hpp"
+#include "web/object.hpp"
+
+namespace parcel::web {
+
+class WebPage {
+ public:
+  explicit WebPage(net::Url main_url) : main_url_(std::move(main_url)) {}
+
+  /// Add an object; throws std::invalid_argument on duplicate URL.
+  void add(WebObject object);
+
+  /// Exact-URL lookup first; on miss, retries ignoring the query string
+  /// (servers resolve cache-busted URLs to the same resource).
+  [[nodiscard]] const WebObject* find(const net::Url& url) const;
+
+  [[nodiscard]] const net::Url& main_url() const { return main_url_; }
+  [[nodiscard]] const WebObject& main() const;
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] std::size_t count_of(ObjectType t) const;
+
+  /// Aggregate size of the onload set (the paper's B in §6).
+  [[nodiscard]] Bytes onload_bytes() const;
+
+  [[nodiscard]] std::vector<const WebObject*> objects() const;
+  [[nodiscard]] std::vector<const WebObject*> objects_on(
+      const std::string& domain) const;
+
+  [[nodiscard]] std::set<std::string> domains() const;
+
+  /// Mutable access for the replay normalizer's content rewriting.
+  [[nodiscard]] std::vector<WebObject*> mutable_objects();
+
+ private:
+  net::Url main_url_;
+  // Keyed by full URL string; iteration order deterministic.
+  std::map<std::string, WebObject> objects_;
+  std::map<std::string, std::string> by_normalized_;
+};
+
+}  // namespace parcel::web

@@ -1,0 +1,26 @@
+#include "web/reference.hpp"
+
+namespace parcel::web {
+
+ObjectType infer_type(std::string_view path, ObjectType fallback) {
+  auto q = path.find('?');
+  if (q != std::string_view::npos) path = path.substr(0, q);
+  auto dot = path.rfind('.');
+  if (dot == std::string_view::npos) return fallback;
+  std::string_view ext = path.substr(dot + 1);
+  if (ext == "css") return ObjectType::kCss;
+  if (ext == "js") return ObjectType::kJs;
+  if (ext == "png" || ext == "jpg" || ext == "jpeg" || ext == "gif" ||
+      ext == "webp" || ext == "ico" || ext == "svg") {
+    return ObjectType::kImage;
+  }
+  if (ext == "woff" || ext == "woff2" || ext == "ttf") {
+    return ObjectType::kFont;
+  }
+  if (ext == "json") return ObjectType::kJson;
+  if (ext == "mp4" || ext == "webm") return ObjectType::kMedia;
+  if (ext == "html" || ext == "htm") return ObjectType::kHtml;
+  return fallback;
+}
+
+}  // namespace parcel::web

@@ -1,0 +1,28 @@
+// A discovered dependency: "this document mentions that URL".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "web/object.hpp"
+
+namespace parcel::web {
+
+struct Reference {
+  std::string target;  // as written: absolute URL or path
+  ObjectType expected_type = ObjectType::kImage;
+  /// Async script: fetched without blocking the parser (<script async>).
+  bool async = false;
+  /// URL is randomized at execution time (cache-busting query); the
+  /// replay normalizer must strip it (§7.3).
+  bool randomized = false;
+
+  bool operator==(const Reference&) const = default;
+};
+
+/// Guess an object type from the URL path extension; `fallback` applies
+/// when the extension is unknown.
+[[nodiscard]] ObjectType infer_type(std::string_view path,
+                                    ObjectType fallback);
+
+}  // namespace parcel::web

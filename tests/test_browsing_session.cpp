@@ -1,0 +1,152 @@
+// Multi-page browsing sessions (§4.5 caching / §7.3 session discussion):
+// device cache carries across pages; the personalized PARCEL proxy
+// mirrors the client's cache and skips re-transmission.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/session.hpp"
+#include "core/testbed.hpp"
+#include "browser/dir_browser.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+#include "web/js.hpp"
+
+namespace parcel::core {
+namespace {
+
+struct SessionPages {
+  std::unique_ptr<web::WebPage> first;
+  std::unique_ptr<web::WebPage> second;
+};
+
+SessionPages make_pages() {
+  web::PageSpec spec;
+  spec.site = "sess.example.com";
+  spec.object_count = 30;
+  spec.total_bytes = util::kib(400);
+  spec.seed = 47;
+  SessionPages out;
+  web::WebPage live = web::PageGenerator::generate(spec);
+  static replay::ReplayStore store;
+  store.record(live);
+  out.first = std::make_unique<web::WebPage>(
+      *store.find(live.main_url().str()));
+  out.second = std::make_unique<web::WebPage>(
+      web::PageGenerator::follow_page(*out.first, 99, 2));
+  return out;
+}
+
+TEST(FollowPage, SharesFrameworkAndAddsFreshImages) {
+  SessionPages pages = make_pages();
+  std::size_t shared = 0, fresh = 0;
+  for (const web::WebObject* obj : pages.second->objects()) {
+    if (pages.first->find(obj->url) != nullptr) {
+      ++shared;
+    } else {
+      ++fresh;
+    }
+  }
+  EXPECT_GT(shared, 5u);  // css + most js + their deps
+  EXPECT_GT(fresh, 5u);   // new html + article images
+  EXPECT_EQ(pages.second->main_url().path(), "/p2.html");
+  // Shared objects are byte-identical (same content pointers or sizes).
+  for (const web::WebObject* obj : pages.second->objects()) {
+    const web::WebObject* orig = pages.first->find(obj->url);
+    if (orig != nullptr) EXPECT_EQ(orig->size, obj->size);
+  }
+}
+
+TEST(FollowPage, SecondPageIsSelfConsistent) {
+  SessionPages pages = make_pages();
+  // Every reference in the new HTML resolves within the page.
+  const web::WebObject& html = pages.second->main();
+  for (const auto& token : web::MiniHtml::scan(html.text())) {
+    if (token.kind != web::HtmlToken::Kind::kReference) continue;
+    net::Url url = html.url.resolve(token.ref.target);
+    EXPECT_NE(pages.second->find(url), nullptr) << url.str();
+  }
+}
+
+TEST(BrowsingSession, DirSecondPageUsesDeviceCache) {
+  SessionPages pages = make_pages();
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*pages.first);
+  testbed.host_page(*pages.second);
+
+  browser::DirConfig cfg;
+  cfg.engine.parse_bytes_per_sec = 0.35e6;
+  cfg.engine.js_units_per_sec = 12;
+  browser::DirBrowser dir(testbed.network(), cfg, util::Rng(1));
+
+  double first_olt = 0, second_olt = 0;
+  browser::BrowserEngine::Callbacks cbs1;
+  cbs1.on_onload = [&](util::TimePoint t) { first_olt = t.sec(); };
+  dir.load(pages.first->main_url(), std::move(cbs1));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  std::size_t requests_after_p1 = dir.fetcher().requests_issued();
+
+  double p2_start = testbed.scheduler().now().sec();
+  browser::BrowserEngine::Callbacks cbs2;
+  cbs2.on_onload = [&](util::TimePoint t) { second_olt = t.sec() - p2_start; };
+  dir.load(pages.second->main_url(), std::move(cbs2));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(120));
+
+  ASSERT_GT(second_olt, 0);
+  // Cached framework: far fewer radio requests on page 2 than objects.
+  std::size_t p2_requests = dir.fetcher().requests_issued() - requests_after_p1;
+  EXPECT_LT(p2_requests, pages.second->object_count());
+  EXPECT_GT(dir.engine().cache_loads(), 0u);
+  // And page 2 loads faster than page 1 despite similar object counts.
+  EXPECT_LT(second_olt, first_olt);
+}
+
+TEST(BrowsingSession, ParcelProxyMirrorSkipsResends) {
+  SessionPages pages = make_pages();
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*pages.first);
+  testbed.host_page(*pages.second);
+
+  ParcelSession session(testbed.network(), ParcelSessionConfig{},
+                        util::Rng(3));
+  bool p1_done = false, p2_done = false;
+  ParcelSession::Callbacks cbs1;
+  cbs1.on_complete = [&](util::TimePoint) { p1_done = true; };
+  session.load(pages.first->main_url(), std::move(cbs1));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  ASSERT_TRUE(p1_done);
+  util::Bytes bytes_after_p1 = session.bundle_bytes_delivered();
+
+  ParcelSession::Callbacks cbs2;
+  cbs2.on_complete = [&](util::TimePoint) { p2_done = true; };
+  session.load(pages.second->main_url(), std::move(cbs2));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(120));
+  ASSERT_TRUE(p2_done);
+
+  // The mirror kept shared objects off the radio: page-2 bundle bytes
+  // are far below the page's total size.
+  util::Bytes p2_bytes = session.bundle_bytes_delivered() - bytes_after_p1;
+  EXPECT_LT(p2_bytes, pages.second->total_bytes());
+  EXPECT_GT(p2_bytes, 0);
+  // No fallbacks: everything the client needed was cached or pushed.
+  EXPECT_EQ(session.client_fetcher().fallback_requests(), 0u);
+  // The whole session used one TCP connection.
+  EXPECT_EQ(testbed.client_trace().connection_count(), 1u);
+  // Client engine for page 2 loaded every object.
+  EXPECT_EQ(session.client_engine().ledger().count(),
+            pages.second->object_count());
+}
+
+TEST(BrowsingSession, LoadWhilePreviousPageInFlightThrows) {
+  SessionPages pages = make_pages();
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*pages.first);
+  testbed.host_page(*pages.second);
+  ParcelSession session(testbed.network(), ParcelSessionConfig{},
+                        util::Rng(5));
+  session.load(pages.first->main_url(), {});
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(0.5));
+  EXPECT_THROW(session.load(pages.second->main_url(), {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace parcel::core

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace parcel::core {
+namespace {
+
+TEST(AnalyticalModel, ReproducesPaperWorkedExample) {
+  // §6: "for a 2MB page, with download speed of 6Mbps, and alpha = 0.74
+  // ... the optimal bundle size is approximately 0.9MB."
+  ModelParams params;
+  params.download_bytes_per_sec = 6e6 / 8.0;
+  params.onload_bytes = 2 * 1000 * 1000;
+  AnalyticalModel model(params);
+  EXPECT_NEAR(model.alpha(), 0.74, 0.01);
+  EXPECT_NEAR(static_cast<double>(model.optimal_bundle_bytes()), 0.9e6,
+              0.06e6);
+}
+
+TEST(AnalyticalModel, OltDecreasesWithBundleCount) {
+  AnalyticalModel model{ModelParams{}};
+  double prev = model.onload_time(1).sec();
+  for (double n = 2; n <= 64; n *= 2) {
+    double cur = model.onload_time(n).sec();
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // OLT(n) -> Tp as n -> inf.
+  EXPECT_NEAR(model.onload_time(1e9).sec(),
+              model.params().proxy_onload.sec(), 1e-3);
+}
+
+TEST(AnalyticalModel, EnergyMinimizedNearOptimalCount) {
+  ModelParams params;
+  params.proxy_onload = util::Duration::seconds(8.0);  // keep dl(n) positive
+  AnalyticalModel model(params);
+  double n_star = model.optimal_bundle_count();
+  ASSERT_GT(n_star, 1.0);
+  double e_star = model.energy(n_star).j();
+  EXPECT_LT(e_star, model.energy(n_star * 2.2).j());
+  EXPECT_LT(e_star, model.energy(std::max(1.0, n_star / 2.2)).j());
+}
+
+TEST(AnalyticalModel, OptimalBundleGrowsWithSpeedAndSize) {
+  ModelParams slow;
+  slow.download_bytes_per_sec = 2e6 / 8.0;
+  ModelParams fast = slow;
+  fast.download_bytes_per_sec = 8e6 / 8.0;
+  EXPECT_LT(AnalyticalModel(slow).optimal_bundle_bytes(),
+            AnalyticalModel(fast).optimal_bundle_bytes());
+
+  ModelParams small;
+  small.onload_bytes = 500'000;
+  ModelParams big = small;
+  big.onload_bytes = 4'000'000;
+  EXPECT_LT(AnalyticalModel(small).optimal_bundle_bytes(),
+            AnalyticalModel(big).optimal_bundle_bytes());
+}
+
+TEST(AnalyticalModel, LdrxTimeClampedAtZero) {
+  ModelParams params;
+  params.proxy_onload = util::Duration::seconds(0.1);
+  AnalyticalModel model(params);
+  EXPECT_GE(model.ldrx_time(50).sec(), 0.0);
+}
+
+TEST(AnalyticalModel, RejectsBadParams) {
+  ModelParams params;
+  params.onload_bytes = 0;
+  EXPECT_THROW(AnalyticalModel{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parcel::core

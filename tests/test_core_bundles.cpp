@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/bundle_scheduler.hpp"
+
+namespace parcel::core {
+namespace {
+
+struct Capture {
+  std::vector<web::MhtmlWriter> bundles;
+  BundleScheduler::Sink sink() {
+    return [this](web::MhtmlWriter b) { bundles.push_back(std::move(b)); };
+  }
+  std::size_t total_parts() const {
+    std::size_t n = 0;
+    for (const auto& b : bundles) n += b.part_count();
+    return n;
+  }
+};
+
+void feed(BundleScheduler& sched, const std::string& url, util::Bytes size) {
+  sched.on_object(net::Url::parse(url), web::ObjectType::kImage, size,
+                  nullptr);
+}
+
+TEST(BundleScheduler, IndFlushesEveryObjectImmediately) {
+  Capture cap;
+  BundleScheduler sched(BundleConfig::ind(), cap.sink());
+  feed(sched, "http://a.example/1.jpg", 1000);
+  feed(sched, "http://a.example/2.jpg", 1000);
+  EXPECT_EQ(cap.bundles.size(), 2u);
+  EXPECT_EQ(cap.total_parts(), 2u);
+  sched.on_page_complete();
+  EXPECT_EQ(cap.bundles.size(), 2u);  // nothing pending
+}
+
+TEST(BundleScheduler, OnloadHoldsUntilOnloadEvent) {
+  Capture cap;
+  BundleScheduler sched(BundleConfig::onload(), cap.sink());
+  feed(sched, "http://a.example/1.jpg", 1000);
+  feed(sched, "http://a.example/2.jpg", 1000);
+  EXPECT_TRUE(cap.bundles.empty());
+  EXPECT_EQ(sched.pending_bytes(), 2000);
+  sched.on_proxy_onload();
+  ASSERT_EQ(cap.bundles.size(), 1u);
+  EXPECT_EQ(cap.bundles[0].part_count(), 2u);
+  // Post-onload stragglers wait for the completion flush.
+  feed(sched, "http://a.example/late.jpg", 500);
+  EXPECT_EQ(cap.bundles.size(), 1u);
+  sched.on_page_complete();
+  ASSERT_EQ(cap.bundles.size(), 2u);
+  EXPECT_EQ(cap.bundles[1].part_count(), 1u);
+}
+
+TEST(BundleScheduler, ThresholdFlushesAtX) {
+  Capture cap;
+  BundleScheduler sched(BundleConfig::with_threshold(2500), cap.sink());
+  feed(sched, "http://a.example/1.jpg", 1000);
+  feed(sched, "http://a.example/2.jpg", 1000);
+  EXPECT_TRUE(cap.bundles.empty());
+  feed(sched, "http://a.example/3.jpg", 1000);  // crosses 2500
+  ASSERT_EQ(cap.bundles.size(), 1u);
+  EXPECT_EQ(cap.bundles[0].part_count(), 3u);
+}
+
+TEST(BundleScheduler, ThresholdAlsoFlushesAtOnload) {
+  Capture cap;
+  BundleScheduler sched(BundleConfig::with_threshold(1'000'000), cap.sink());
+  feed(sched, "http://a.example/1.jpg", 1000);
+  sched.on_proxy_onload();
+  EXPECT_EQ(cap.bundles.size(), 1u);
+}
+
+TEST(BundleScheduler, CompleteFlushesRemainderOnce) {
+  Capture cap;
+  BundleScheduler sched(BundleConfig::with_threshold(10'000), cap.sink());
+  feed(sched, "http://a.example/1.jpg", 1000);
+  sched.on_page_complete();
+  EXPECT_EQ(cap.bundles.size(), 1u);
+  sched.on_page_complete();  // idempotent on empty
+  EXPECT_EQ(cap.bundles.size(), 1u);
+  EXPECT_EQ(sched.bundles_sent(), 1u);
+}
+
+TEST(BundleScheduler, ValidatesConfig) {
+  Capture cap;
+  EXPECT_THROW(BundleScheduler(BundleConfig::with_threshold(0), cap.sink()),
+               std::invalid_argument);
+  EXPECT_THROW(BundleScheduler(BundleConfig::ind(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(BundleConfig, Names) {
+  EXPECT_EQ(BundleConfig::ind().name(), "PARCEL(IND)");
+  EXPECT_EQ(BundleConfig::onload().name(), "PARCEL(ONLD)");
+  EXPECT_EQ(BundleConfig::with_threshold(util::kib(512)).name(),
+            "PARCEL(512K)");
+  EXPECT_EQ(BundleConfig::with_threshold(util::mib(2)).name(), "PARCEL(2M)");
+}
+
+}  // namespace
+}  // namespace parcel::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "sim/scheduler.hpp"
+
+namespace parcel::core {
+namespace {
+
+web::MhtmlPart make_part(const std::string& url, const char* body = nullptr) {
+  web::MhtmlPart part;
+  part.location = net::Url::parse(url);
+  part.content_type = body ? "application/javascript" : "image/jpeg";
+  if (body) {
+    part.content = std::make_shared<const std::string>(body);
+    part.body_size = static_cast<util::Bytes>(part.content->size());
+  } else {
+    part.body_size = 1000;
+  }
+  return part;
+}
+
+struct ClientFixture : ::testing::Test {
+  sim::Scheduler sched;
+  ParcelClientFetcher fetcher{sched, util::Rng(1)};
+  std::vector<std::string> fallback_urls;
+
+  ClientFixture() {
+    fetcher.set_fallback([this](const net::Url& url, web::ObjectType) {
+      fallback_urls.push_back(url.str());
+    });
+  }
+};
+
+TEST_F(ClientFixture, CacheHitDeliversLocally) {
+  fetcher.on_bundle_parts({make_part("http://a.example/x.jpg")});
+  bool delivered = false;
+  fetcher.fetch(net::Url::parse("http://a.example/x.jpg"),
+                web::ObjectType::kImage, false, 1,
+                [&](browser::FetchResult r) {
+                  delivered = true;
+                  EXPECT_EQ(r.size, 1000);
+                  EXPECT_EQ(r.status, 200);
+                });
+  sched.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(fetcher.cache_hits(), 1u);
+  EXPECT_TRUE(fallback_urls.empty());
+}
+
+TEST_F(ClientFixture, MissIsSuppressedUntilPartArrives) {
+  bool delivered = false;
+  fetcher.fetch(net::Url::parse("http://a.example/x.jpg"),
+                web::ObjectType::kImage, false, 1,
+                [&](browser::FetchResult) { delivered = true; });
+  sched.run();
+  EXPECT_FALSE(delivered);  // suppressed, no network request
+  EXPECT_EQ(fetcher.parked_count(), 1u);
+  EXPECT_EQ(fetcher.suppressed_total(), 1u);
+
+  fetcher.on_bundle_parts({make_part("http://a.example/x.jpg")});
+  sched.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(fetcher.parked_count(), 0u);
+  EXPECT_TRUE(fallback_urls.empty());
+}
+
+TEST_F(ClientFixture, CompletionNoteConvertsParkedToFallbacks) {
+  bool delivered = false;
+  fetcher.fetch(net::Url::parse("http://a.example/missing.jpg"),
+                web::ObjectType::kImage, false, 1,
+                [&](browser::FetchResult) { delivered = true; });
+  fetcher.on_completion_note();
+  EXPECT_EQ(fallback_urls.size(), 1u);
+  EXPECT_EQ(fallback_urls[0], "http://a.example/missing.jpg");
+  EXPECT_EQ(fetcher.fallback_requests(), 1u);
+  // The fallback response arrives as a single-part bundle.
+  fetcher.on_bundle_parts({make_part("http://a.example/missing.jpg")});
+  sched.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(ClientFixture, PostCompletionMissesFallBackImmediately) {
+  fetcher.on_completion_note();
+  bool delivered = false;
+  fetcher.fetch(net::Url::parse("http://a.example/late.jpg"),
+                web::ObjectType::kImage, false, 1,
+                [&](browser::FetchResult) { delivered = true; });
+  EXPECT_EQ(fallback_urls.size(), 1u);
+  fetcher.on_bundle_parts({make_part("http://a.example/late.jpg")});
+  sched.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(ClientFixture, RandomizedUrlMissesExactCache) {
+  // The proxy pushed its own randomized variant.
+  fetcher.on_bundle_parts({make_part("http://api.example/d.json?r=111")});
+  bool delivered = false;
+  fetcher.fetch(net::Url::parse("http://api.example/d.json"),
+                web::ObjectType::kJson, /*randomized=*/true, 1,
+                [&](browser::FetchResult) { delivered = true; });
+  sched.run();
+  // Client drew a different random query: exact-match lookup misses and
+  // the request is parked (§4.5's URL-divergence case).
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(fetcher.parked_count(), 1u);
+}
+
+TEST_F(ClientFixture, JsTypeHintHonoredOnDelivery) {
+  fetcher.on_bundle_parts({make_part("http://a.example/x.js", "compute(1);")});
+  web::ObjectType got = web::ObjectType::kImage;
+  fetcher.fetch(net::Url::parse("http://a.example/x.js"),
+                web::ObjectType::kJsAsync, false, 1,
+                [&](browser::FetchResult r) { got = r.type; });
+  sched.run();
+  EXPECT_EQ(got, web::ObjectType::kJsAsync);
+}
+
+TEST(ParcelClientFetcherStandalone, FallbackWithoutWiringThrows) {
+  sim::Scheduler sched;
+  ParcelClientFetcher fetcher(sched, util::Rng(1));
+  fetcher.fetch(net::Url::parse("http://a.example/x.jpg"),
+                web::ObjectType::kImage, false, 1,
+                [](browser::FetchResult) {});
+  EXPECT_THROW(fetcher.on_completion_note(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace parcel::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::core {
+namespace {
+
+const web::WebPage& test_page() {
+  static web::WebPage* page = [] {
+    web::PageSpec spec;
+    spec.site = "exp.example.com";
+    spec.object_count = 40;
+    spec.total_bytes = util::kib(500);
+    spec.seed = 17;
+    static replay::ReplayStore store;
+    store.record(web::PageGenerator::generate(spec));
+    return const_cast<web::WebPage*>(store.find("http://exp.example.com/"));
+  }();
+  return *page;
+}
+
+TEST(ExperimentRunner, DirRunBasicInvariants) {
+  RunConfig cfg;
+  RunResult r = ExperimentRunner::run(Scheme::kDir, test_page(), cfg);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.olt.sec(), 0.0);
+  EXPECT_GE(r.tlt, r.olt);
+  // DIR issues one HTTP request per object over the radio and resolves
+  // every domain (Table 1).
+  EXPECT_EQ(r.radio_http_requests, test_page().object_count());
+  EXPECT_EQ(r.dns_lookups, test_page().domains().size());
+  EXPECT_GT(r.tcp_connections, 1u);
+  EXPECT_GT(r.radio.total.j(), 0.0);
+  EXPECT_GT(r.downlink_bytes,
+            static_cast<util::Bytes>(test_page().total_bytes()));
+}
+
+TEST(ExperimentRunner, ParcelRunBasicInvariants) {
+  RunConfig cfg;
+  RunResult r = ExperimentRunner::run(Scheme::kParcelInd, test_page(), cfg);
+  EXPECT_TRUE(r.ok);
+  // Table 1: single connection, single client HTTP request, object
+  // identification at the proxy, no client DNS.
+  EXPECT_EQ(r.tcp_connections, 1u);
+  EXPECT_EQ(r.radio_http_requests, 1u);
+  EXPECT_EQ(r.dns_lookups, 0u);
+  EXPECT_EQ(r.objects_loaded, test_page().object_count());
+  EXPECT_GT(r.bundles, 0u);
+}
+
+TEST(ExperimentRunner, CloudBrowserTransfersSnapshotOnly) {
+  RunConfig cfg;
+  RunResult r = ExperimentRunner::run(Scheme::kCloudBrowser, test_page(), cfg);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.tcp_connections, 1u);
+  // Compressed snapshot: fewer bytes over the radio than the page.
+  EXPECT_LT(r.downlink_bytes,
+            static_cast<util::Bytes>(test_page().total_bytes()));
+  EXPECT_DOUBLE_EQ(r.olt.sec(), r.tlt.sec());
+}
+
+TEST(ExperimentRunner, ParcelBeatsDirOnLatencyAndEnergy) {
+  RunConfig cfg;
+  RunResult dir = ExperimentRunner::run(Scheme::kDir, test_page(), cfg);
+  RunResult ind = ExperimentRunner::run(Scheme::kParcelInd, test_page(), cfg);
+  EXPECT_LT(ind.olt, dir.olt);
+  EXPECT_LT(ind.radio.total, dir.radio.total);
+  // PARCEL batches transfers: fewer CR<->DRX transitions (Fig 7a).
+  EXPECT_LT(ind.radio.cr_drx_transitions, dir.radio.cr_drx_transitions);
+}
+
+TEST(ExperimentRunner, BundlingTradesLatencyForCrEnergy) {
+  RunConfig cfg;
+  RunResult ind = ExperimentRunner::run(Scheme::kParcelInd, test_page(), cfg);
+  RunResult onld =
+      ExperimentRunner::run(Scheme::kParcelOnld, test_page(), cfg);
+  // Fig 9a: bundling increases OLT relative to IND.
+  EXPECT_GE(onld.olt.sec(), ind.olt.sec() - 0.05);
+  // Batch transfer shrinks the high-power CR window.
+  EXPECT_LT(onld.radio.cr, ind.radio.cr);
+}
+
+TEST(ExperimentRunner, DeterministicForSameSeed) {
+  RunConfig cfg;
+  cfg.seed = 77;
+  RunResult a = ExperimentRunner::run(Scheme::kParcel512K, test_page(), cfg);
+  RunResult b = ExperimentRunner::run(Scheme::kParcel512K, test_page(), cfg);
+  EXPECT_DOUBLE_EQ(a.olt.sec(), b.olt.sec());
+  EXPECT_DOUBLE_EQ(a.tlt.sec(), b.tlt.sec());
+  EXPECT_DOUBLE_EQ(a.radio.total.j(), b.radio.total.j());
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(ExperimentRunner, SchemeNamesAndHelpers) {
+  EXPECT_EQ(to_string(Scheme::kDir), "DIR");
+  EXPECT_EQ(to_string(Scheme::kParcel512K), "PARCEL(512K)");
+  EXPECT_EQ(to_string(Scheme::kCloudBrowser), "CB");
+  EXPECT_TRUE(is_parcel(Scheme::kParcelOnld));
+  EXPECT_FALSE(is_parcel(Scheme::kDir));
+  EXPECT_EQ(bundle_for(Scheme::kParcel1M).threshold, util::mib(1));
+  EXPECT_THROW(bundle_for(Scheme::kDir), std::invalid_argument);
+}
+
+TEST(RunRounds, FiltersAndAggregates) {
+  RoundsConfig cfg;
+  cfg.rounds = 3;
+  cfg.discard_first_round = true;
+  cfg.base.testbed.fade = lte::FadeProcess::Params{};
+  std::vector<Scheme> schemes{Scheme::kDir, Scheme::kParcelInd};
+  RoundsOutcome outcome = run_rounds(test_page(), schemes, cfg);
+  EXPECT_EQ(outcome.rounds_total, 3);
+  EXPECT_LE(outcome.rounds_kept, 2);  // first round always discarded
+  if (outcome.rounds_kept > 0) {
+    ASSERT_TRUE(outcome.series.contains(Scheme::kDir));
+    const SchemeSeries& dir = outcome.series.at(Scheme::kDir);
+    EXPECT_EQ(dir.runs.size(),
+              static_cast<std::size_t>(outcome.rounds_kept));
+    EXPECT_GT(dir.median_olt_sec(), 0.0);
+    EXPECT_GT(dir.median_radio_j(), 0.0);
+    EXPECT_GE(dir.median_radio_j(), dir.median_cr_j());
+  }
+}
+
+TEST(RunRounds, SignalToleranceZeroDropsEverything) {
+  RoundsConfig cfg;
+  cfg.rounds = 2;
+  cfg.discard_first_round = false;
+  cfg.signal_tolerance_db = 0.0;
+  cfg.base.testbed.fade = lte::FadeProcess::Params{};
+  std::vector<Scheme> schemes{Scheme::kDir, Scheme::kParcelInd};
+  RoundsOutcome outcome = run_rounds(test_page(), schemes, cfg);
+  // Distinct per-scheme fade seeds make identical mean signal all but
+  // impossible.
+  EXPECT_EQ(outcome.rounds_kept, 0);
+}
+
+}  // namespace
+}  // namespace parcel::core

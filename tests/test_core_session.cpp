@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/session.hpp"
+#include "core/testbed.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::core {
+namespace {
+
+web::WebPage small_page(std::uint64_t seed) {
+  web::PageSpec spec;
+  spec.site = "tiny.example.com";
+  spec.object_count = 24;
+  spec.total_bytes = util::kib(300);
+  spec.seed = seed;
+  return web::PageGenerator::generate(spec);
+}
+
+struct SessionFixture : ::testing::Test {
+  web::WebPage live = small_page(7);
+  replay::ReplayStore store;
+  const web::WebPage* page = nullptr;
+
+  void SetUp() override {
+    store.record(live);
+    page = store.find(live.main_url().str());
+    ASSERT_NE(page, nullptr);
+  }
+};
+
+TEST_F(SessionFixture, FullLoadCompletesWithSuppression) {
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*page);
+  ParcelSessionConfig cfg;
+  ParcelSession session(testbed.network(), cfg, util::Rng(1));
+
+  bool onload = false, complete = false;
+  ParcelSession::Callbacks cbs;
+  cbs.on_onload = [&](util::TimePoint) { onload = true; };
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  session.load(page->main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+
+  EXPECT_TRUE(onload);
+  EXPECT_TRUE(complete);
+  EXPECT_FALSE(session.used_direct_path());
+  // Every object the client engine needed was answered from pushed
+  // bundles — zero fallbacks on a replayed (normalized) page.
+  EXPECT_EQ(session.client_fetcher().fallback_requests(), 0u);
+  EXPECT_EQ(session.client_engine().ledger().count(), page->object_count());
+  EXPECT_GT(session.bundles_delivered(), 0u);
+  EXPECT_GT(session.bundle_bytes_delivered(),
+            static_cast<util::Bytes>(page->total_bytes()));
+  // Exactly one TCP connection crossed the radio.
+  EXPECT_EQ(testbed.client_trace().connection_count(), 1u);
+  // Proxy identified all objects and declared completion.
+  EXPECT_TRUE(session.proxy().completion_declared());
+  EXPECT_EQ(session.proxy().engine().ledger().count(), page->object_count());
+  EXPECT_TRUE(session.client_fetcher().completion_received());
+}
+
+TEST_F(SessionFixture, LiveModeRandomizedUrlsTriggerFallback) {
+  // Use an un-normalized page containing fetchRand: the proxy's and the
+  // client's random draws diverge, exercising the §4.5 missing-object
+  // path. Search seeds for a draw with a randomized fetch.
+  std::unique_ptr<web::WebPage> rand_page;
+  for (std::uint64_t seed = 1; seed < 64 && !rand_page; ++seed) {
+    auto candidate = std::make_unique<web::WebPage>(small_page(seed));
+    for (const web::WebObject* obj : candidate->objects()) {
+      if (obj->content &&
+          obj->content->find("fetchRand(") != std::string::npos) {
+        rand_page = std::move(candidate);
+        break;
+      }
+    }
+  }
+  ASSERT_NE(rand_page, nullptr) << "no seed produced a randomized fetch";
+
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*rand_page);
+  ParcelSessionConfig cfg;
+  ParcelSession session(testbed.network(), cfg, util::Rng(2));
+  bool complete = false;
+  ParcelSession::Callbacks cbs;
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  session.load(rand_page->main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(complete);
+  EXPECT_GT(session.client_fetcher().fallback_requests(), 0u);
+  EXPECT_GT(session.proxy().fallback_serves(), 0u);
+}
+
+TEST_F(SessionFixture, HttpsBypassesProxy) {
+  Testbed testbed{TestbedConfig{}};
+  // Host an https-addressed variant of the page.
+  web::WebPage https_page(net::Url::parse("https://tiny.example.com/"));
+  for (const web::WebObject* obj : page->objects()) {
+    web::WebObject copy = *obj;
+    copy.url = net::Url::parse(
+        "https://" + obj->url.host() + obj->url.path() +
+        (obj->url.query().empty() ? "" : "?" + obj->url.query()));
+    https_page.add(std::move(copy));
+  }
+  testbed.host_page(https_page);
+  ParcelSessionConfig cfg;
+  ParcelSession session(testbed.network(), cfg, util::Rng(3));
+  bool complete = false;
+  ParcelSession::Callbacks cbs;
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  session.load(https_page.main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(session.used_direct_path());
+  EXPECT_FALSE(session.proxy().started());
+  // Direct path behaves like DIR: many connections over the radio.
+  EXPECT_GT(testbed.client_trace().connection_count(), 1u);
+}
+
+TEST_F(SessionFixture, PostRelaysThroughProxy) {
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*page);
+  ParcelSessionConfig cfg;
+  ParcelSession session(testbed.network(), cfg, util::Rng(4));
+  session.load(page->main_url(), {});
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(30));
+
+  bool post_done = false;
+  session.post(net::Url::parse("http://tiny.example.com/submit"), 2048,
+               [&] { post_done = true; });
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(post_done);
+}
+
+TEST_F(SessionFixture, ClicksStayLocalAfterLoad) {
+  web::PageSpec spec = web::PageGenerator::interactive_spec(5);
+  spec.object_count = 40;
+  spec.total_bytes = util::kib(600);
+  web::WebPage shop = web::PageGenerator::generate(spec);
+  replay::ReplayStore shop_store;
+  shop_store.record(shop);
+  const web::WebPage* snapshot = shop_store.find(shop.main_url().str());
+
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(*snapshot);
+  ParcelSessionConfig cfg;
+  ParcelSession session(testbed.network(), cfg, util::Rng(5));
+  session.load(snapshot->main_url(), {});
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+
+  std::size_t trace_before = testbed.client_trace().size();
+  bool clicked = false;
+  session.click(0, [&] { clicked = true; });
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(120));
+  EXPECT_TRUE(clicked);
+  // Local JS execution, cached image: nothing crossed the radio.
+  EXPECT_EQ(testbed.client_trace().size(), trace_before);
+}
+
+}  // namespace
+}  // namespace parcel::core

@@ -1,0 +1,152 @@
+// Property-style sweeps over generated pages: the paper's qualitative
+// claims must hold for *every* page the generator can produce, not just
+// the fixtures. Parameterized over corpus seeds.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/experiment.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+#include "web/js.hpp"
+
+namespace parcel::core {
+namespace {
+
+struct PageCase {
+  std::uint64_t corpus_seed;
+  int index;
+};
+
+class PageProperty : public ::testing::TestWithParam<PageCase> {
+ protected:
+  void SetUp() override {
+    web::PageGenerator gen(GetParam().corpus_seed);
+    web::PageSpec spec;
+    for (int i = 0; i <= GetParam().index; ++i) spec = gen.sample_spec(i);
+    // Keep runtimes bounded: cap very large draws.
+    spec.object_count = std::min(spec.object_count, 150);
+    spec.total_bytes = std::min<util::Bytes>(spec.total_bytes, util::mib(2));
+    live_ = std::make_unique<web::WebPage>(web::PageGenerator::generate(spec));
+    store_.record(*live_);
+    page_ = store_.find(live_->main_url().str());
+    ASSERT_NE(page_, nullptr);
+  }
+
+  std::unique_ptr<web::WebPage> live_;
+  replay::ReplayStore store_;
+  const web::WebPage* page_ = nullptr;
+};
+
+TEST_P(PageProperty, ParcelIndBeatsDirOnOltAndEnergy) {
+  RunConfig cfg;
+  RunResult dir = ExperimentRunner::run(Scheme::kDir, *page_, cfg);
+  RunResult ind = ExperimentRunner::run(Scheme::kParcelInd, *page_, cfg);
+  ASSERT_TRUE(dir.ok);
+  ASSERT_TRUE(ind.ok);
+  EXPECT_LT(ind.olt.sec(), dir.olt.sec());
+  EXPECT_LT(ind.radio.total.j(), dir.radio.total.j());
+  EXPECT_LE(ind.tcp_connections, 1u);
+}
+
+TEST_P(PageProperty, BundlingMonotonicallyDelaysOnload) {
+  RunConfig cfg;
+  RunResult ind = ExperimentRunner::run(Scheme::kParcelInd, *page_, cfg);
+  RunResult x512 = ExperimentRunner::run(Scheme::kParcel512K, *page_, cfg);
+  RunResult onld = ExperimentRunner::run(Scheme::kParcelOnld, *page_, cfg);
+  // Fig 9a: IND <= PARCEL(X) <= ONLD (tolerance for promotion jitter).
+  EXPECT_LE(ind.olt.sec(), x512.olt.sec() + 0.10);
+  EXPECT_LE(x512.olt.sec(), onld.olt.sec() + 0.10);
+}
+
+TEST_P(PageProperty, OltNeverExceedsTlt) {
+  RunConfig cfg;
+  for (Scheme s : {Scheme::kDir, Scheme::kParcelInd, Scheme::kParcelOnld}) {
+    RunResult r = ExperimentRunner::run(s, *page_, cfg);
+    ASSERT_TRUE(r.ok) << to_string(s);
+    EXPECT_LE(r.olt.sec(), r.tlt.sec() + 1e-9) << to_string(s);
+  }
+}
+
+TEST_P(PageProperty, EnergyAccountingIsConsistent) {
+  RunConfig cfg;
+  RunResult r = ExperimentRunner::run(Scheme::kParcel512K, *page_, cfg);
+  const auto& e = r.radio;
+  double sum = e.cr.j() + e.short_drx.j() + e.long_drx.j() + e.idle.j() +
+               e.promotion.j();
+  EXPECT_NEAR(e.total.j(), sum, 1e-6);
+  // Timeline is contiguous and ordered.
+  for (std::size_t i = 1; i < e.timeline.size(); ++i) {
+    EXPECT_GE(e.timeline[i].begin.sec(), e.timeline[i - 1].end.sec() - 1e-9);
+  }
+}
+
+TEST_P(PageProperty, DownlinkBytesCoverPageForDir) {
+  RunConfig cfg;
+  RunResult dir = ExperimentRunner::run(Scheme::kDir, *page_, cfg);
+  ASSERT_TRUE(dir.ok);
+  // Wire bytes = bodies + headers + handshakes: strictly more than the
+  // page, but within a sane overhead envelope (< 25%).
+  auto page_bytes = static_cast<double>(page_->total_bytes());
+  EXPECT_GE(static_cast<double>(dir.downlink_bytes), page_bytes);
+  EXPECT_LE(static_cast<double>(dir.downlink_bytes), page_bytes * 1.25);
+}
+
+TEST_P(PageProperty, ReplayedPagesNeedNoFallbacks) {
+  RunConfig cfg;
+  RunResult r = ExperimentRunner::run(Scheme::kParcelInd, *page_, cfg);
+  EXPECT_EQ(r.fallbacks, 0u);
+  EXPECT_EQ(r.radio_http_requests, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorpusSweep, PageProperty,
+    ::testing::Values(PageCase{101, 0}, PageCase{101, 1}, PageCase{101, 2},
+                      PageCase{202, 0}, PageCase{202, 1}, PageCase{303, 0},
+                      PageCase{303, 1}, PageCase{404, 0}),
+    [](const ::testing::TestParamInfo<PageCase>& info) {
+      return "seed" + std::to_string(info.param.corpus_seed) + "_page" +
+             std::to_string(info.param.index);
+    });
+
+/// Analytical-model property sweep: b* = alpha*sqrt(sB) and E(n*) is a
+/// minimum, across a grid of speeds and page sizes.
+struct ModelCase {
+  double mbps;
+  double megabytes;
+};
+
+class ModelProperty : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelProperty, OptimalBundleMinimizesEnergy) {
+  ModelParams params;
+  params.download_bytes_per_sec = GetParam().mbps * 1e6 / 8.0;
+  params.onload_bytes =
+      static_cast<util::Bytes>(GetParam().megabytes * 1e6);
+  params.proxy_onload = util::Duration::seconds(30.0);  // keep dl(n) > 0
+  AnalyticalModel model(params);
+  double n_star = model.optimal_bundle_count();
+  if (n_star < 1.0) GTEST_SKIP() << "single bundle optimal here";
+  double e_star = model.energy(n_star).j();
+  for (double factor : {0.4, 0.6, 1.6, 2.8}) {
+    double n = std::max(1.0, n_star * factor);
+    EXPECT_LE(e_star, model.energy(n).j() + 1e-9)
+        << "n*=" << n_star << " n=" << n;
+  }
+  // Identity: b* * n* == B.
+  EXPECT_NEAR(static_cast<double>(model.optimal_bundle_bytes()) * n_star,
+              static_cast<double>(params.onload_bytes),
+              static_cast<double>(params.onload_bytes) * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeedSizeGrid, ModelProperty,
+    ::testing::Values(ModelCase{2, 1}, ModelCase{2, 4}, ModelCase{4, 2},
+                      ModelCase{6, 2}, ModelCase{6, 5}, ModelCase{8, 1},
+                      ModelCase{8, 4}, ModelCase{12, 3}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return "mbps" + std::to_string(static_cast<int>(info.param.mbps)) +
+             "_mb" + std::to_string(static_cast<int>(info.param.megabytes));
+    });
+
+}  // namespace
+}  // namespace parcel::core

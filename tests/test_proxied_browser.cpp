@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "browser/proxied_browser.hpp"
+#include "core/experiment.hpp"
+#include "core/session.hpp"
+#include "core/testbed.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::browser {
+namespace {
+
+using core::Testbed;
+using core::TestbedConfig;
+
+const web::WebPage& fixture_page() {
+  static web::WebPage* page = [] {
+    web::PageSpec spec;
+    spec.site = "prox.example.com";
+    spec.object_count = 36;
+    spec.total_bytes = util::kib(450);
+    spec.seed = 29;
+    static replay::ReplayStore store;
+    store.record(web::PageGenerator::generate(spec));
+    return const_cast<web::WebPage*>(store.find("http://prox.example.com/"));
+  }();
+  return *page;
+}
+
+browser::DirConfig proxy_fetch() {
+  browser::DirConfig cfg;
+  cfg.engine.parse_bytes_per_sec = 40e6;
+  cfg.engine.js_units_per_sec = 500;
+  return cfg;
+}
+
+struct ProxiedFixture : ::testing::Test {
+  Testbed testbed{TestbedConfig{}};
+  std::unique_ptr<RelayProxy> relay;
+
+  void SetUp() override {
+    testbed.host_page(fixture_page());
+    relay = std::make_unique<RelayProxy>(testbed.network(), proxy_fetch(),
+                                         util::Rng(1));
+    testbed.register_proxy_endpoint("relay.proxy.example", *relay);
+  }
+
+  ProxiedBrowser make(ProxiedBrowserConfig cfg) {
+    cfg.engine.parse_bytes_per_sec = 1e6;
+    cfg.engine.js_units_per_sec = 50;
+    return ProxiedBrowser(testbed.network(), "relay.proxy.example", cfg,
+                          util::Rng(2));
+  }
+};
+
+TEST_F(ProxiedFixture, HttpProxyLoadsEverythingThroughRelay) {
+  ProxiedBrowser browser = make(ProxiedBrowserConfig::http_proxy());
+  bool complete = false;
+  BrowserEngine::Callbacks cbs;
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  browser.load(fixture_page().main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(browser.engine().ledger().count(), fixture_page().object_count());
+  EXPECT_EQ(browser.requests_issued(), fixture_page().object_count());
+  EXPECT_EQ(relay->relayed(), fixture_page().object_count());
+  // At most the configured client connections cross the radio.
+  EXPECT_LE(testbed.client_trace().connection_count(), 6u + 0u);
+}
+
+TEST_F(ProxiedFixture, SpdyUsesExactlyOneConnection) {
+  ProxiedBrowser browser = make(ProxiedBrowserConfig::spdy_proxy());
+  bool complete = false;
+  BrowserEngine::Callbacks cbs;
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  browser.load(fixture_page().main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(testbed.client_trace().connection_count(), 1u);
+  EXPECT_EQ(browser.requests_issued(), fixture_page().object_count());
+}
+
+TEST_F(ProxiedFixture, UnregisteredProxyDomainThrows) {
+  EXPECT_THROW(ProxiedBrowser(testbed.network(), "nope.example",
+                              ProxiedBrowserConfig::http_proxy(),
+                              util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ProxiedSchemes, PaperSection43Ordering) {
+  // §4.3: PARCEL < SPDY proxy on latency, and SPDY proxy does not close
+  // the gap to PARCEL because object identification stays on the client.
+  core::RunConfig cfg;
+  const web::WebPage& page = fixture_page();
+  auto dir = core::ExperimentRunner::run(core::Scheme::kDir, page, cfg);
+  auto spdy = core::ExperimentRunner::run(core::Scheme::kSpdyProxy, page, cfg);
+  auto ind = core::ExperimentRunner::run(core::Scheme::kParcelInd, page, cfg);
+  ASSERT_TRUE(dir.ok);
+  ASSERT_TRUE(spdy.ok);
+  ASSERT_TRUE(ind.ok);
+  EXPECT_LT(ind.olt.sec(), spdy.olt.sec());
+  EXPECT_LT(spdy.olt.sec(), dir.olt.sec() * 1.05);  // SPDY >= DIR-ish
+  EXPECT_LT(ind.radio.total.j(), spdy.radio.total.j());
+  // Table 1: SPDY single connection, but still per-object requests.
+  EXPECT_EQ(spdy.tcp_connections, 1u);
+  EXPECT_EQ(spdy.radio_http_requests, page.object_count());
+  EXPECT_EQ(spdy.dns_lookups, 0u);
+}
+
+TEST(ProxiedSchemes, SuppressionAblationIncreasesRadioRequests) {
+  const web::WebPage& page = fixture_page();
+  core::Testbed testbed{core::TestbedConfig{}};
+  testbed.host_page(page);
+  core::ParcelSessionConfig cfg;
+  cfg.client_suppression = false;
+  core::ParcelSession session(testbed.network(), cfg, util::Rng(5));
+  bool complete = false;
+  core::ParcelSession::Callbacks cbs;
+  cbs.on_complete = [&](util::TimePoint) { complete = true; };
+  session.load(page.main_url(), std::move(cbs));
+  testbed.scheduler().run_until(util::TimePoint::at_seconds(60));
+  EXPECT_TRUE(complete);
+  // Without suppression the client immediately requests objects that were
+  // already on their way in bundles.
+  EXPECT_GT(session.client_fetcher().fallback_requests(), 0u);
+  EXPECT_EQ(session.client_fetcher().suppressed_total(), 0u);
+}
+
+}  // namespace
+}  // namespace parcel::browser

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "replay/normalizer.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+#include "web/js.hpp"
+
+namespace parcel::replay {
+namespace {
+
+TEST(UrlNormalizer, StripsCacheBustingParam) {
+  net::Url u = net::Url::parse("http://a.example/x.json?r=123456");
+  EXPECT_EQ(UrlNormalizer::normalize(u).str(), "http://a.example/x.json");
+  net::Url mixed = net::Url::parse("http://a.example/x.json?k=1&r=9&z=2");
+  EXPECT_EQ(UrlNormalizer::normalize(mixed).str(),
+            "http://a.example/x.json?k=1&z=2");
+  net::Url plain = net::Url::parse("http://a.example/x.json");
+  EXPECT_EQ(UrlNormalizer::normalize(plain), plain);
+}
+
+TEST(UrlNormalizer, RewritesJsPreservingLength) {
+  std::string js =
+      "compute(1.0);\nfetchRand(\"http://api.example/a.json\");\n";
+  std::string out = UrlNormalizer::normalize_js(js);
+  EXPECT_EQ(out.size(), js.size());
+  EXPECT_EQ(out.find("fetchRand("), std::string::npos);
+  EXPECT_NE(out.find("fetch(\"http://api.example/a.json\")"),
+            std::string::npos);
+  // The rewritten script still parses and yields a deterministic fetch.
+  auto prog = web::MiniJs::run(out);
+  ASSERT_EQ(prog.references.size(), 1u);
+  EXPECT_FALSE(prog.references[0].randomized);
+}
+
+TEST(UrlNormalizer, DetectsRandomizedFetches) {
+  EXPECT_TRUE(UrlNormalizer::has_randomized_fetch("fetchRand(\"u\");"));
+  EXPECT_FALSE(UrlNormalizer::has_randomized_fetch("fetch(\"u\");"));
+}
+
+TEST(ReplayStore, RecordsSnapshotAndRewrites) {
+  web::PageGenerator gen(7);
+  // Find a page that actually contains randomized fetches.
+  for (int i = 0; i < 10; ++i) {
+    web::WebPage live = web::PageGenerator::generate(gen.sample_spec(i));
+    bool has_rand = false;
+    for (const web::WebObject* obj : live.objects()) {
+      if (obj->content && UrlNormalizer::has_randomized_fetch(*obj->content)) {
+        has_rand = true;
+      }
+    }
+    if (!has_rand) continue;
+
+    ReplayStore store;
+    store.record(live);
+    EXPECT_GT(store.rewrites(), 0u);
+    const web::WebPage* snapshot = store.find(live.main_url().str());
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_EQ(snapshot->object_count(), live.object_count());
+    EXPECT_EQ(snapshot->total_bytes(), live.total_bytes());
+    for (const web::WebObject* obj : snapshot->objects()) {
+      if (obj->content) {
+        EXPECT_FALSE(UrlNormalizer::has_randomized_fetch(*obj->content))
+            << obj->url.str();
+      }
+    }
+    return;
+  }
+  FAIL() << "no page with randomized fetches found in 10 samples";
+}
+
+TEST(ReplayStore, FindUnknownPageReturnsNull) {
+  ReplayStore store;
+  EXPECT_EQ(store.find("http://nowhere.example/"), nullptr);
+  EXPECT_EQ(store.page_count(), 0u);
+}
+
+TEST(ReplayStore, MultiplePagesCoexist) {
+  web::PageGenerator gen(3);
+  ReplayStore store;
+  web::WebPage a = web::PageGenerator::generate(gen.sample_spec(0));
+  web::WebPage b = web::PageGenerator::generate(gen.sample_spec(1));
+  store.record(a);
+  store.record(b);
+  EXPECT_EQ(store.page_count(), 2u);
+  EXPECT_NE(store.find(a.main_url().str()), nullptr);
+  EXPECT_NE(store.find(b.main_url().str()), nullptr);
+}
+
+}  // namespace
+}  // namespace parcel::replay

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace parcel::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(TimePoint::at_seconds(2), [&] { order.push_back(2); });
+  sched.schedule_at(TimePoint::at_seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(TimePoint::at_seconds(3), [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 3.0);
+}
+
+TEST(Scheduler, SameTimeEventsRunFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(TimePoint::at_seconds(1), [&, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler sched;
+  double fired_at = -1;
+  sched.schedule_at(TimePoint::at_seconds(1), [&] {
+    sched.schedule_after(Duration::seconds(2),
+                         [&] { fired_at = sched.now().sec(); });
+  });
+  sched.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Scheduler, PastEventsClampToNow) {
+  Scheduler sched;
+  double fired_at = -1;
+  sched.schedule_at(TimePoint::at_seconds(5), [&] {
+    sched.schedule_at(TimePoint::at_seconds(1),
+                      [&] { fired_at = sched.now().sec(); });
+  });
+  sched.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h =
+      sched.schedule_at(TimePoint::at_seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(TimePoint::at_seconds(1), [] {});
+  sched.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sched.schedule_at(TimePoint::at_seconds(t),
+                      [&fired, &sched] { fired.push_back(sched.now().sec()); });
+  }
+  sched.run_until(TimePoint::at_seconds(2.5));
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 2.5);
+  EXPECT_EQ(sched.pending_events(), 2u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenQueueEmpty) {
+  Scheduler sched;
+  sched.run_until(TimePoint::at_seconds(10));
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 10.0);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(TimePoint::at_seconds(1), [&] { ++count; });
+  sched.schedule_at(TimePoint::at_seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.events_executed(), 2u);
+}
+
+TEST(Scheduler, RejectsEmptyCallback) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_at(TimePoint::origin(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.schedule_after(Duration::seconds(1), recurse);
+  };
+  sched.schedule_at(TimePoint::origin(), recurse);
+  sched.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 4.0);
+}
+
+}  // namespace
+}  // namespace parcel::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::core {
+namespace {
+
+web::WebPage make_page(std::uint64_t seed = 3) {
+  web::PageSpec spec;
+  spec.site = "tb.example.com";
+  spec.object_count = 20;
+  spec.total_bytes = util::kib(250);
+  spec.seed = seed;
+  return web::PageGenerator::generate(spec);
+}
+
+TEST(Testbed, HostsEveryDomainOfAPage) {
+  web::WebPage page = make_page();
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(page);
+  for (const std::string& domain : page.domains()) {
+    EXPECT_NE(testbed.origin(domain), nullptr) << domain;
+    EXPECT_NE(testbed.network().endpoint(domain), nullptr) << domain;
+    EXPECT_TRUE(testbed.network().has_route("client", domain)) << domain;
+    EXPECT_TRUE(testbed.network().has_route("proxy", domain)) << domain;
+  }
+  EXPECT_EQ(testbed.origin("unknown.example"), nullptr);
+}
+
+TEST(Testbed, ClientRouteIsLongerThanProxyRoute) {
+  web::WebPage page = make_page();
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(page);
+  std::string domain = *page.domains().begin();
+  net::Path client = testbed.network().route("client", domain);
+  net::Path proxy = testbed.network().route("proxy", domain);
+  // The proxy's path to origins skips the radio: much lower RTT — the
+  // asymmetry PARCEL exploits (§4.2).
+  EXPECT_GT(client.base_rtt().sec(), 2.0 * proxy.base_rtt().sec());
+}
+
+TEST(Testbed, HostingTwoPagesSharesDomains) {
+  web::WebPage a = make_page(3);
+  web::WebPage b = make_page(4);  // same site name, different objects
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(a);
+  EXPECT_NO_THROW(testbed.host_page(b));
+  web::OriginServer* origin = testbed.origin("tb.example.com");
+  ASSERT_NE(origin, nullptr);
+}
+
+TEST(Testbed, HeterogeneousDelaysDifferAcrossDomains) {
+  web::WebPage page = make_page(9);
+  TestbedConfig cfg;
+  cfg.heterogeneous_server_delays = true;
+  cfg.server_delay_min = util::Duration::millis(5);
+  cfg.server_delay_max = util::Duration::millis(60);
+  Testbed testbed(cfg);
+  testbed.host_page(page);
+  std::set<long> delays_us;
+  for (const std::string& domain : page.domains()) {
+    net::Path path = testbed.network().route("proxy", domain);
+    delays_us.insert(std::lround(path.propagation_delay().us()));
+  }
+  // With >= 4 domains, at least two distinct delays are all but certain.
+  EXPECT_GE(delays_us.size(), 2u);
+}
+
+TEST(Testbed, FadeDisabledByDefaultEnabledOnRequest) {
+  Testbed plain{TestbedConfig{}};
+  EXPECT_EQ(plain.fade(), nullptr);
+  TestbedConfig cfg;
+  cfg.fade = lte::FadeProcess::Params{};
+  Testbed faded(cfg);
+  ASSERT_NE(faded.fade(), nullptr);
+  EXPECT_GT(faded.fade()->scale_at(util::TimePoint::at_seconds(1)), 0.0);
+}
+
+TEST(Testbed, RadioTapRecordsBothDirections) {
+  web::WebPage page = make_page(5);
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(page);
+  std::string domain = page.main_url().host();
+  net::Path path = testbed.network().route("client", domain);
+  path.send_up(500, net::BurstInfo{trace::PacketKind::kData, 9, 1},
+               [](util::TimePoint) {});
+  path.send_down(700, net::BurstInfo{trace::PacketKind::kData, 9, 2},
+                 [](util::TimePoint) {});
+  testbed.scheduler().run();
+  ASSERT_EQ(testbed.client_trace().size(), 2u);
+  EXPECT_EQ(testbed.client_trace().uplink_bytes(), 500);
+  EXPECT_EQ(testbed.client_trace().downlink_bytes(), 700);
+}
+
+TEST(Testbed, RrcStartsIdleAndPromotesOnTraffic) {
+  web::WebPage page = make_page(6);
+  Testbed testbed{TestbedConfig{}};
+  testbed.host_page(page);
+  EXPECT_EQ(testbed.rrc().state_at(testbed.scheduler().now()),
+            lte::RrcState::kIdle);
+  net::Path path =
+      testbed.network().route("client", page.main_url().host());
+  path.send_up(100, net::BurstInfo{}, [](util::TimePoint) {});
+  testbed.scheduler().run();
+  EXPECT_EQ(testbed.rrc().promotions_from_idle(), 1u);
+}
+
+}  // namespace
+}  // namespace parcel::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "trace/packet_trace.hpp"
+#include "trace/trace_analyzer.hpp"
+
+namespace parcel::trace {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::TimePoint;
+
+PacketRecord rec(double t, Direction dir, PacketKind kind, Bytes bytes,
+                 std::uint32_t conn, std::uint32_t obj) {
+  return PacketRecord{TimePoint::at_seconds(t), dir, kind, bytes, conn, obj};
+}
+
+TEST(PacketTrace, KeepsRecordsSortedEvenWithInversions) {
+  PacketTrace trace;
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  trace.record(rec(1.0, Direction::kUplink, PacketKind::kSyn, 4, 1, 0));
+  trace.record(rec(3.0, Direction::kDownlink, PacketKind::kData, 20, 1, 2));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.first_time().sec(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.last_time().sec(), 3.0);
+}
+
+TEST(PacketTrace, ByteAndDirectionAccounting) {
+  PacketTrace trace;
+  trace.record(rec(0.1, Direction::kUplink, PacketKind::kData, 100, 1, 0));
+  trace.record(rec(0.2, Direction::kDownlink, PacketKind::kData, 900, 1, 1));
+  EXPECT_EQ(trace.total_bytes(), 1000);
+  EXPECT_EQ(trace.uplink_bytes(), 100);
+  EXPECT_EQ(trace.downlink_bytes(), 900);
+}
+
+TEST(PacketTrace, FirstSynAndObjectTimes) {
+  PacketTrace trace;
+  trace.record(rec(0.5, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 10, 1, 7));
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 10, 1, 9));
+  ASSERT_TRUE(trace.first_syn_time().has_value());
+  EXPECT_DOUBLE_EQ(trace.first_syn_time()->sec(), 0.5);
+  std::uint32_t objs[] = {7};
+  auto last = trace.last_time_of_objects(objs);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->sec(), 1.0);
+  std::uint32_t missing[] = {42};
+  EXPECT_FALSE(trace.last_time_of_objects(missing).has_value());
+}
+
+TEST(PacketTrace, ConnectionCountAndTruncate) {
+  PacketTrace trace;
+  trace.record(rec(1, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(2, Direction::kUplink, PacketKind::kSyn, 40, 2, 0));
+  trace.record(rec(65, Direction::kDownlink, PacketKind::kData, 10, 3, 1));
+  EXPECT_EQ(trace.connection_count(), 3u);
+  trace.truncate_after(TimePoint::at_seconds(60));
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.connection_count(), 2u);
+}
+
+TEST(PacketTrace, SerializeRoundTrip) {
+  PacketTrace trace;
+  trace.record(rec(0.123456, Direction::kUplink, PacketKind::kSyn, 40, 3, 0));
+  trace.record(rec(1.5, Direction::kDownlink, PacketKind::kData, 1448, 3, 9));
+  PacketTrace copy = PacketTrace::deserialize(trace.serialize());
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.records()[1].bytes, 1448);
+  EXPECT_EQ(copy.records()[1].object_id, 9u);
+  EXPECT_EQ(copy.records()[0].kind, PacketKind::kSyn);
+  EXPECT_THROW(PacketTrace::deserialize("garbage line"),
+               std::invalid_argument);
+}
+
+TEST(PacketTrace, EmptyTraceEdgeCases) {
+  PacketTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_THROW(trace.first_time(), std::logic_error);
+  EXPECT_FALSE(trace.first_syn_time().has_value());
+}
+
+TEST(TraceAnalyzer, OltAndTltFromFirstSyn) {
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  trace.record(rec(3.0, Direction::kDownlink, PacketKind::kData, 10, 1, 2));
+  trace.record(rec(5.0, Direction::kDownlink, PacketKind::kData, 10, 1, 3));
+  std::uint32_t onload[] = {1, 2};
+  auto m = TraceAnalyzer::latency_metrics(trace, onload);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->olt.sec(), 2.0);  // 3.0 - 1.0
+  EXPECT_DOUBLE_EQ(m->tlt.sec(), 4.0);  // 5.0 - 1.0
+}
+
+TEST(TraceAnalyzer, OltClampedToTlt) {
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  std::uint32_t onload[] = {1};
+  auto m = TraceAnalyzer::latency_metrics(trace, onload);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_LE(m->olt, m->tlt);
+}
+
+TEST(TraceAnalyzer, NoSynMeansNoMetrics) {
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  std::uint32_t onload[] = {1};
+  EXPECT_FALSE(TraceAnalyzer::latency_metrics(trace, onload).has_value());
+}
+
+TEST(TraceAnalyzer, GapCounting) {
+  PacketTrace trace;
+  for (double t : {0.0, 0.1, 1.5, 1.6, 4.0}) {
+    trace.record(rec(t, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  }
+  EXPECT_EQ(TraceAnalyzer::count_gaps_longer_than(trace,
+                                                  Duration::seconds(1.0)),
+            2u);
+}
+
+TEST(TraceAnalyzer, CumulativeDownlinkBytes) {
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 100, 1, 1));
+  trace.record(rec(2.0, Direction::kUplink, PacketKind::kData, 50, 1, 0));
+  trace.record(rec(3.0, Direction::kDownlink, PacketKind::kData, 200, 1, 2));
+  EXPECT_EQ(TraceAnalyzer::downlink_bytes_before(trace,
+                                                 TimePoint::at_seconds(2.5)),
+            100);
+  EXPECT_EQ(TraceAnalyzer::downlink_bytes_before(trace,
+                                                 TimePoint::at_seconds(9)),
+            300);
+}
+
+}  // namespace
+}  // namespace parcel::trace

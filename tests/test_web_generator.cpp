@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/stats.hpp"
+#include "web/css.hpp"
+#include "web/generator.hpp"
+#include "web/html.hpp"
+#include "web/js.hpp"
+
+namespace parcel::web {
+namespace {
+
+TEST(PageGenerator, DeterministicForSameSpec) {
+  PageSpec spec;
+  spec.seed = 99;
+  WebPage a = PageGenerator::generate(spec);
+  WebPage b = PageGenerator::generate(spec);
+  EXPECT_EQ(a.object_count(), b.object_count());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.main().text(), b.main().text());
+}
+
+TEST(PageGenerator, HonorsObjectCountAndByteBudget) {
+  PageSpec spec;
+  spec.object_count = 120;
+  spec.total_bytes = mib(2);
+  spec.seed = 5;
+  WebPage page = PageGenerator::generate(spec);
+  EXPECT_NEAR(static_cast<double>(page.object_count()), 120.0, 6.0);
+  EXPECT_NEAR(static_cast<double>(page.total_bytes()),
+              static_cast<double>(spec.total_bytes),
+              0.30 * static_cast<double>(spec.total_bytes));
+}
+
+TEST(PageGenerator, EveryReferencedUrlExistsInPage) {
+  PageSpec spec;
+  spec.object_count = 90;
+  spec.seed = 11;
+  WebPage page = PageGenerator::generate(spec);
+
+  auto check_ref = [&](const Reference& ref, const net::Url& base) {
+    net::Url url = base.resolve(ref.target);
+    EXPECT_NE(page.find(url), nullptr) << "dangling ref: " << url.str();
+  };
+  for (const WebObject* obj : page.objects()) {
+    if (obj->type == ObjectType::kHtml) {
+      for (const auto& token : MiniHtml::scan(obj->text())) {
+        if (token.kind == HtmlToken::Kind::kReference) {
+          check_ref(token.ref, obj->url);
+        }
+      }
+    } else if (obj->type == ObjectType::kCss) {
+      for (const auto& ref : MiniCss::scan(obj->text())) {
+        check_ref(ref, obj->url);
+      }
+    } else if (obj->type == ObjectType::kJs ||
+               obj->type == ObjectType::kJsAsync) {
+      for (const auto& ref : MiniJs::run(obj->text()).references) {
+        check_ref(ref, obj->url);
+      }
+    }
+  }
+}
+
+TEST(PageGenerator, AllJsParsesUnderMiniJs) {
+  PageSpec spec;
+  spec.object_count = 150;
+  spec.seed = 21;
+  WebPage page = PageGenerator::generate(spec);
+  std::size_t js_seen = 0;
+  for (const WebObject* obj : page.objects()) {
+    if (obj->type == ObjectType::kJs || obj->type == ObjectType::kJsAsync) {
+      ++js_seen;
+      EXPECT_NO_THROW(MiniJs::run(obj->text())) << obj->url.str();
+      EXPECT_GT(obj->js_work, 0.0);
+    }
+  }
+  EXPECT_GE(js_seen, 20u);  // paper: pages with >=100 objects have >=20 JS
+}
+
+TEST(PageGenerator, TextObjectSizesMatchContent) {
+  PageSpec spec;
+  spec.seed = 31;
+  WebPage page = PageGenerator::generate(spec);
+  for (const WebObject* obj : page.objects()) {
+    if (obj->content) {
+      EXPECT_EQ(obj->size, static_cast<Bytes>(obj->content->size()))
+          << obj->url.str();
+    } else {
+      EXPECT_GT(obj->size, 0);
+    }
+  }
+}
+
+TEST(PageGenerator, PostOnloadClusterExists) {
+  PageSpec spec;
+  spec.object_count = 120;
+  spec.seed = 41;
+  WebPage page = PageGenerator::generate(spec);
+  std::size_t post = 0;
+  for (const WebObject* obj : page.objects()) {
+    if (obj->post_onload) ++post;
+  }
+  EXPECT_GT(post, 0u);
+  EXPECT_LT(post, page.object_count() / 2);
+  EXPECT_LT(page.onload_bytes(), page.total_bytes());
+}
+
+TEST(PageGenerator, SpansMultipleDomains) {
+  PageSpec spec;
+  spec.extra_domains = 8;
+  spec.seed = 51;
+  WebPage page = PageGenerator::generate(spec);
+  EXPECT_GE(page.domains().size(), 4u);
+}
+
+TEST(PageGenerator, GalleryRegistersClickHandlers) {
+  PageSpec spec = PageGenerator::interactive_spec(61);
+  WebPage page = PageGenerator::generate(spec);
+  std::size_t handlers = 0;
+  for (const WebObject* obj : page.objects()) {
+    if (obj->type == ObjectType::kJs) {
+      handlers += MiniJs::run(obj->text()).click_handlers.size();
+    }
+  }
+  EXPECT_EQ(handlers, static_cast<std::size_t>(spec.gallery_items));
+}
+
+TEST(PageGenerator, CorpusStatisticsTrackPaper) {
+  PageGenerator gen(2014);
+  auto specs = gen.corpus_specs(200);
+  int big_pages = 0;
+  std::vector<double> sizes;
+  for (const auto& spec : specs) {
+    if (spec.object_count >= 100) ++big_pages;
+    sizes.push_back(static_cast<double>(spec.total_bytes));
+  }
+  // Paper §2.1: ~40% of pages have >=100 objects. §7.2: median ~1.04 MB,
+  // pages from a few KB to 5 MB.
+  double big_fraction = static_cast<double>(big_pages) / 200.0;
+  EXPECT_NEAR(big_fraction, 0.40, 0.12);
+  double median_size = util::median(sizes);
+  EXPECT_NEAR(median_size, 1.04e6, 0.35e6);
+  EXPECT_LE(*std::max_element(sizes.begin(), sizes.end()), 5.0e6);
+}
+
+TEST(PageGenerator, RejectsTinySpecs) {
+  PageSpec spec;
+  spec.object_count = 3;
+  EXPECT_THROW(PageGenerator::generate(spec), std::invalid_argument);
+}
+
+TEST(PageGenerator, SomeJsonFetchesAreRandomized) {
+  PageGenerator gen(7);
+  bool found = false;
+  for (int i = 0; i < 10 && !found; ++i) {
+    WebPage page = PageGenerator::generate(gen.sample_spec(i));
+    for (const WebObject* obj : page.objects()) {
+      if (obj->content &&
+          obj->content->find("fetchRand(") != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace parcel::web

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "web/css.hpp"
+#include "web/html.hpp"
+#include "web/js.hpp"
+#include "web/reference.hpp"
+
+namespace parcel::web {
+namespace {
+
+TEST(InferType, ByExtension) {
+  EXPECT_EQ(infer_type("/a/b.css", ObjectType::kImage), ObjectType::kCss);
+  EXPECT_EQ(infer_type("/a/b.js", ObjectType::kImage), ObjectType::kJs);
+  EXPECT_EQ(infer_type("/a/b.jpg?x=1", ObjectType::kJson), ObjectType::kImage);
+  EXPECT_EQ(infer_type("/a/b.woff2", ObjectType::kImage), ObjectType::kFont);
+  EXPECT_EQ(infer_type("/a/b.json", ObjectType::kImage), ObjectType::kJson);
+  EXPECT_EQ(infer_type("/a/b.mp4", ObjectType::kImage), ObjectType::kMedia);
+  EXPECT_EQ(infer_type("/noext", ObjectType::kJson), ObjectType::kJson);
+}
+
+TEST(MiniHtml, ExtractsReferencesInDocumentOrder) {
+  const char* html = R"(
+    <html><head>
+      <link rel="stylesheet" href="/css/a.css">
+      <script src="/js/one.js"></script>
+      <script async src="http://ads.example/ad.js"></script>
+    </head><body>
+      <img src="/img/x.jpg">
+      <video src="/v.mp4"></video>
+      <script>
+        compute(1.0);
+      </script>
+    </body></html>)";
+  auto tokens = MiniHtml::scan(html);
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].ref.expected_type, ObjectType::kCss);
+  EXPECT_EQ(tokens[0].ref.target, "/css/a.css");
+  EXPECT_EQ(tokens[1].ref.expected_type, ObjectType::kJs);
+  EXPECT_FALSE(tokens[1].ref.async);
+  EXPECT_EQ(tokens[2].ref.expected_type, ObjectType::kJsAsync);
+  EXPECT_TRUE(tokens[2].ref.async);
+  EXPECT_EQ(tokens[3].ref.expected_type, ObjectType::kImage);
+  EXPECT_EQ(tokens[4].ref.expected_type, ObjectType::kMedia);
+  EXPECT_EQ(tokens[5].kind, HtmlToken::Kind::kInlineScript);
+  EXPECT_NE(tokens[5].script.find("compute"), std::string::npos);
+}
+
+TEST(MiniHtml, SkipsComments) {
+  auto tokens = MiniHtml::scan("<!-- <img src=\"/hidden.jpg\"> --><img src=\"/real.jpg\">");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].ref.target, "/real.jpg");
+}
+
+TEST(MiniHtml, IgnoresNonStylesheetLinks) {
+  auto tokens = MiniHtml::scan("<link rel=\"icon\" href=\"/favicon.ico\">");
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(MiniHtml, AttributeExtraction) {
+  EXPECT_EQ(MiniHtml::attribute("<img src=\"/a.png\">", "src"), "/a.png");
+  EXPECT_EQ(MiniHtml::attribute("<img src='/a.png'>", "src"), "/a.png");
+  EXPECT_EQ(MiniHtml::attribute("<img src=/a.png>", "src"), "/a.png");
+  EXPECT_EQ(MiniHtml::attribute("<img alt=\"x\">", "src"), "");
+}
+
+TEST(MiniHtml, EmptyInlineScriptIgnored) {
+  auto tokens = MiniHtml::scan("<script>   </script>");
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(MiniCss, UrlAndImports) {
+  const char* css = R"(
+    /* url("commented-out.png") */
+    @import url("base.css");
+    @import "reset.css";
+    .a { background-image: url("/img/a.png"); }
+    .b { background: url(http://cdn.example/b.jpg); }
+    @font-face { src: url("f.woff2"); }
+  )";
+  auto refs = MiniCss::scan(css);
+  ASSERT_EQ(refs.size(), 5u);
+  EXPECT_EQ(refs[0].expected_type, ObjectType::kCss);
+  EXPECT_EQ(refs[0].target, "base.css");
+  EXPECT_EQ(refs[1].target, "reset.css");
+  EXPECT_EQ(refs[2].target, "/img/a.png");
+  EXPECT_EQ(refs[3].target, "http://cdn.example/b.jpg");
+  EXPECT_EQ(refs[4].expected_type, ObjectType::kFont);
+}
+
+TEST(MiniCss, EmptyAndCommentOnly) {
+  EXPECT_TRUE(MiniCss::scan("").empty());
+  EXPECT_TRUE(MiniCss::scan("/* url(x.png) */ body{}").empty());
+}
+
+TEST(MiniJs, ComputeAccumulatesWork) {
+  JsProgram prog = MiniJs::run("compute(2.5);\ncompute(1.5);\n");
+  EXPECT_NEAR(prog.work_units, 4.0 + 0.02, 1e-9);
+  EXPECT_TRUE(prog.references.empty());
+}
+
+TEST(MiniJs, FetchVariants) {
+  JsProgram prog = MiniJs::run(
+      "fetch(\"http://api.example/a.json\");\n"
+      "fetchRand(\"http://api.example/b.json\");\n");
+  ASSERT_EQ(prog.references.size(), 2u);
+  EXPECT_FALSE(prog.references[0].randomized);
+  EXPECT_TRUE(prog.references[1].randomized);
+  EXPECT_EQ(prog.references[0].expected_type, ObjectType::kJson);
+}
+
+TEST(MiniJs, ScriptInjection) {
+  JsProgram prog = MiniJs::run(
+      "loadScript(\"/js/dep.js\");\n"
+      "loadScriptAsync(\"/js/lazy.js\");\n");
+  ASSERT_EQ(prog.references.size(), 2u);
+  EXPECT_EQ(prog.references[0].expected_type, ObjectType::kJs);
+  EXPECT_FALSE(prog.references[0].async);
+  EXPECT_EQ(prog.references[1].expected_type, ObjectType::kJsAsync);
+  EXPECT_TRUE(prog.references[1].async);
+}
+
+TEST(MiniJs, DocumentWriteRevealsImage) {
+  JsProgram prog =
+      MiniJs::run("document.write('<img src=\"/img/banner.jpg\">');\n");
+  ASSERT_EQ(prog.references.size(), 1u);
+  EXPECT_EQ(prog.references[0].target, "/img/banner.jpg");
+  EXPECT_EQ(prog.references[0].expected_type, ObjectType::kImage);
+}
+
+TEST(MiniJs, ClickHandlers) {
+  JsProgram prog = MiniJs::run(
+      "onClick(0, \"/img/p0.jpg\");\n"
+      "onClick(3, \"/img/p3.jpg\");\n");
+  ASSERT_EQ(prog.click_handlers.size(), 2u);
+  EXPECT_EQ(prog.click_handlers[1].click_index, 3);
+  EXPECT_EQ(prog.click_handlers[1].target, "/img/p3.jpg");
+}
+
+TEST(MiniJs, CommentsAndPaddingAreFree) {
+  JsProgram prog = MiniJs::run("// just a comment line\n\n");
+  EXPECT_DOUBLE_EQ(prog.work_units, 0.0);
+}
+
+TEST(MiniJs, GenericStatementsCostALittle) {
+  JsProgram prog = MiniJs::run("var x = 1;\nvar y = 2;\n");
+  EXPECT_NEAR(prog.work_units, 0.02, 1e-9);
+}
+
+TEST(MiniJs, MalformedStatementsThrow) {
+  EXPECT_THROW(MiniJs::run("fetch();"), std::invalid_argument);
+  EXPECT_THROW(MiniJs::run("compute(abc);"), std::invalid_argument);
+  EXPECT_THROW(MiniJs::run("explode everything"), std::invalid_argument);
+  EXPECT_THROW(MiniJs::run("onClick(1);"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parcel::web
