@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_sensitivity.dir/bench_delay_sensitivity.cpp.o"
+  "CMakeFiles/bench_delay_sensitivity.dir/bench_delay_sensitivity.cpp.o.d"
+  "bench_delay_sensitivity"
+  "bench_delay_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_real_servers_olt.dir/bench_fig10_real_servers_olt.cpp.o"
+  "CMakeFiles/bench_fig10_real_servers_olt.dir/bench_fig10_real_servers_olt.cpp.o.d"
+  "bench_fig10_real_servers_olt"
+  "bench_fig10_real_servers_olt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_real_servers_olt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

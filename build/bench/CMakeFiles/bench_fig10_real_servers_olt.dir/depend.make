@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_real_servers_olt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_wired_vs_cellular.cpp" "bench/CMakeFiles/bench_fig3_wired_vs_cellular.dir/bench_fig3_wired_vs_cellular.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_wired_vs_cellular.dir/bench_fig3_wired_vs_cellular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/parcel_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parcel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/parcel_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/parcel_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/parcel_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/parcel_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

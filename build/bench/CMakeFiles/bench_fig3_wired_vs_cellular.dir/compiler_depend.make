@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_wired_vs_cellular.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_rrc_timeline.dir/bench_fig7a_rrc_timeline.cpp.o"
+  "CMakeFiles/bench_fig7a_rrc_timeline.dir/bench_fig7a_rrc_timeline.cpp.o.d"
+  "bench_fig7a_rrc_timeline"
+  "bench_fig7a_rrc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_rrc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

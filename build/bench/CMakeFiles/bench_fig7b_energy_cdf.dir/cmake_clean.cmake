@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_energy_cdf.dir/bench_fig7b_energy_cdf.cpp.o"
+  "CMakeFiles/bench_fig7b_energy_cdf.dir/bench_fig7b_energy_cdf.cpp.o.d"
+  "bench_fig7b_energy_cdf"
+  "bench_fig7b_energy_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_energy_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

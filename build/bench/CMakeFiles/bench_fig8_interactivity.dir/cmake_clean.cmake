@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_interactivity.dir/bench_fig8_interactivity.cpp.o"
+  "CMakeFiles/bench_fig8_interactivity.dir/bench_fig8_interactivity.cpp.o.d"
+  "bench_fig8_interactivity"
+  "bench_fig8_interactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_interactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bundles.dir/bench_fig9_bundles.cpp.o"
+  "CMakeFiles/bench_fig9_bundles.dir/bench_fig9_bundles.cpp.o.d"
+  "bench_fig9_bundles"
+  "bench_fig9_bundles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bundles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_bench_common.dir/common.cpp.o"
+  "CMakeFiles/parcel_bench_common.dir/common.cpp.o.d"
+  "libparcel_bench_common.a"
+  "libparcel_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

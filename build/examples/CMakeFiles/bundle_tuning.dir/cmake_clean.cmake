@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_tuning.dir/bundle_tuning.cpp.o"
+  "CMakeFiles/bundle_tuning.dir/bundle_tuning.cpp.o.d"
+  "bundle_tuning"
+  "bundle_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/https_and_fallback.dir/https_and_fallback.cpp.o"
+  "CMakeFiles/https_and_fallback.dir/https_and_fallback.cpp.o.d"
+  "https_and_fallback"
+  "https_and_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/https_and_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/cloud_browser.cpp" "src/browser/CMakeFiles/parcel_browser.dir/cloud_browser.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/cloud_browser.cpp.o.d"
+  "/root/repo/src/browser/dir_browser.cpp" "src/browser/CMakeFiles/parcel_browser.dir/dir_browser.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/dir_browser.cpp.o.d"
+  "/root/repo/src/browser/engine.cpp" "src/browser/CMakeFiles/parcel_browser.dir/engine.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/engine.cpp.o.d"
+  "/root/repo/src/browser/ledger.cpp" "src/browser/CMakeFiles/parcel_browser.dir/ledger.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/ledger.cpp.o.d"
+  "/root/repo/src/browser/main_thread.cpp" "src/browser/CMakeFiles/parcel_browser.dir/main_thread.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/main_thread.cpp.o.d"
+  "/root/repo/src/browser/proxied_browser.cpp" "src/browser/CMakeFiles/parcel_browser.dir/proxied_browser.cpp.o" "gcc" "src/browser/CMakeFiles/parcel_browser.dir/proxied_browser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/parcel_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

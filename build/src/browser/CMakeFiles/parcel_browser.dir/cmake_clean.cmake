@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_browser.dir/cloud_browser.cpp.o"
+  "CMakeFiles/parcel_browser.dir/cloud_browser.cpp.o.d"
+  "CMakeFiles/parcel_browser.dir/dir_browser.cpp.o"
+  "CMakeFiles/parcel_browser.dir/dir_browser.cpp.o.d"
+  "CMakeFiles/parcel_browser.dir/engine.cpp.o"
+  "CMakeFiles/parcel_browser.dir/engine.cpp.o.d"
+  "CMakeFiles/parcel_browser.dir/ledger.cpp.o"
+  "CMakeFiles/parcel_browser.dir/ledger.cpp.o.d"
+  "CMakeFiles/parcel_browser.dir/main_thread.cpp.o"
+  "CMakeFiles/parcel_browser.dir/main_thread.cpp.o.d"
+  "CMakeFiles/parcel_browser.dir/proxied_browser.cpp.o"
+  "CMakeFiles/parcel_browser.dir/proxied_browser.cpp.o.d"
+  "libparcel_browser.a"
+  "libparcel_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_core.dir/analysis.cpp.o"
+  "CMakeFiles/parcel_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/bundle_scheduler.cpp.o"
+  "CMakeFiles/parcel_core.dir/bundle_scheduler.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/client.cpp.o"
+  "CMakeFiles/parcel_core.dir/client.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/experiment.cpp.o"
+  "CMakeFiles/parcel_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/proxy.cpp.o"
+  "CMakeFiles/parcel_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/session.cpp.o"
+  "CMakeFiles/parcel_core.dir/session.cpp.o.d"
+  "CMakeFiles/parcel_core.dir/testbed.cpp.o"
+  "CMakeFiles/parcel_core.dir/testbed.cpp.o.d"
+  "libparcel_core.a"
+  "libparcel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

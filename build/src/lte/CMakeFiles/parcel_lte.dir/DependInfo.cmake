@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/device.cpp" "src/lte/CMakeFiles/parcel_lte.dir/device.cpp.o" "gcc" "src/lte/CMakeFiles/parcel_lte.dir/device.cpp.o.d"
+  "/root/repo/src/lte/energy.cpp" "src/lte/CMakeFiles/parcel_lte.dir/energy.cpp.o" "gcc" "src/lte/CMakeFiles/parcel_lte.dir/energy.cpp.o.d"
+  "/root/repo/src/lte/radio_link.cpp" "src/lte/CMakeFiles/parcel_lte.dir/radio_link.cpp.o" "gcc" "src/lte/CMakeFiles/parcel_lte.dir/radio_link.cpp.o.d"
+  "/root/repo/src/lte/rrc.cpp" "src/lte/CMakeFiles/parcel_lte.dir/rrc.cpp.o" "gcc" "src/lte/CMakeFiles/parcel_lte.dir/rrc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/parcel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_lte.dir/device.cpp.o"
+  "CMakeFiles/parcel_lte.dir/device.cpp.o.d"
+  "CMakeFiles/parcel_lte.dir/energy.cpp.o"
+  "CMakeFiles/parcel_lte.dir/energy.cpp.o.d"
+  "CMakeFiles/parcel_lte.dir/radio_link.cpp.o"
+  "CMakeFiles/parcel_lte.dir/radio_link.cpp.o.d"
+  "CMakeFiles/parcel_lte.dir/rrc.cpp.o"
+  "CMakeFiles/parcel_lte.dir/rrc.cpp.o.d"
+  "libparcel_lte.a"
+  "libparcel_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/parcel_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/parcel_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/parcel_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/parcel_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/path.cpp" "src/net/CMakeFiles/parcel_net.dir/path.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/path.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/parcel_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/url.cpp" "src/net/CMakeFiles/parcel_net.dir/url.cpp.o" "gcc" "src/net/CMakeFiles/parcel_net.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_net.dir/dns.cpp.o"
+  "CMakeFiles/parcel_net.dir/dns.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/http.cpp.o"
+  "CMakeFiles/parcel_net.dir/http.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/link.cpp.o"
+  "CMakeFiles/parcel_net.dir/link.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/network.cpp.o"
+  "CMakeFiles/parcel_net.dir/network.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/path.cpp.o"
+  "CMakeFiles/parcel_net.dir/path.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/tcp.cpp.o"
+  "CMakeFiles/parcel_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/parcel_net.dir/url.cpp.o"
+  "CMakeFiles/parcel_net.dir/url.cpp.o.d"
+  "libparcel_net.a"
+  "libparcel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

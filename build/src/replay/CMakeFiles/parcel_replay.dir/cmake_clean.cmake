@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_replay.dir/normalizer.cpp.o"
+  "CMakeFiles/parcel_replay.dir/normalizer.cpp.o.d"
+  "CMakeFiles/parcel_replay.dir/replay_store.cpp.o"
+  "CMakeFiles/parcel_replay.dir/replay_store.cpp.o.d"
+  "libparcel_replay.a"
+  "libparcel_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/parcel_sim.dir/scheduler.cpp.o.d"
+  "libparcel_sim.a"
+  "libparcel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

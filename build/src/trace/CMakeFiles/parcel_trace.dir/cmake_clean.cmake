@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/parcel_trace.dir/packet_trace.cpp.o.d"
+  "CMakeFiles/parcel_trace.dir/trace_analyzer.cpp.o"
+  "CMakeFiles/parcel_trace.dir/trace_analyzer.cpp.o.d"
+  "libparcel_trace.a"
+  "libparcel_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

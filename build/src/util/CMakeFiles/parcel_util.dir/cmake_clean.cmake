@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_util.dir/logging.cpp.o"
+  "CMakeFiles/parcel_util.dir/logging.cpp.o.d"
+  "CMakeFiles/parcel_util.dir/rng.cpp.o"
+  "CMakeFiles/parcel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/parcel_util.dir/stats.cpp.o"
+  "CMakeFiles/parcel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/parcel_util.dir/strings.cpp.o"
+  "CMakeFiles/parcel_util.dir/strings.cpp.o.d"
+  "CMakeFiles/parcel_util.dir/units.cpp.o"
+  "CMakeFiles/parcel_util.dir/units.cpp.o.d"
+  "libparcel_util.a"
+  "libparcel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/css.cpp" "src/web/CMakeFiles/parcel_web.dir/css.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/css.cpp.o.d"
+  "/root/repo/src/web/generator.cpp" "src/web/CMakeFiles/parcel_web.dir/generator.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/generator.cpp.o.d"
+  "/root/repo/src/web/html.cpp" "src/web/CMakeFiles/parcel_web.dir/html.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/html.cpp.o.d"
+  "/root/repo/src/web/js.cpp" "src/web/CMakeFiles/parcel_web.dir/js.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/js.cpp.o.d"
+  "/root/repo/src/web/mhtml.cpp" "src/web/CMakeFiles/parcel_web.dir/mhtml.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/mhtml.cpp.o.d"
+  "/root/repo/src/web/object.cpp" "src/web/CMakeFiles/parcel_web.dir/object.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/object.cpp.o.d"
+  "/root/repo/src/web/origin_server.cpp" "src/web/CMakeFiles/parcel_web.dir/origin_server.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/origin_server.cpp.o.d"
+  "/root/repo/src/web/page.cpp" "src/web/CMakeFiles/parcel_web.dir/page.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/page.cpp.o.d"
+  "/root/repo/src/web/reference.cpp" "src/web/CMakeFiles/parcel_web.dir/reference.cpp.o" "gcc" "src/web/CMakeFiles/parcel_web.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/parcel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcel_web.dir/css.cpp.o"
+  "CMakeFiles/parcel_web.dir/css.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/generator.cpp.o"
+  "CMakeFiles/parcel_web.dir/generator.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/html.cpp.o"
+  "CMakeFiles/parcel_web.dir/html.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/js.cpp.o"
+  "CMakeFiles/parcel_web.dir/js.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/mhtml.cpp.o"
+  "CMakeFiles/parcel_web.dir/mhtml.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/object.cpp.o"
+  "CMakeFiles/parcel_web.dir/object.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/origin_server.cpp.o"
+  "CMakeFiles/parcel_web.dir/origin_server.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/page.cpp.o"
+  "CMakeFiles/parcel_web.dir/page.cpp.o.d"
+  "CMakeFiles/parcel_web.dir/reference.cpp.o"
+  "CMakeFiles/parcel_web.dir/reference.cpp.o.d"
+  "libparcel_web.a"
+  "libparcel_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcel_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

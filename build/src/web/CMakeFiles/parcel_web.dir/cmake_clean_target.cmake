@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparcel_web.a"
+)

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_browser_engine.cpp" "tests/CMakeFiles/parcel_tests.dir/test_browser_engine.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_browser_engine.cpp.o.d"
+  "/root/repo/tests/test_browser_integration.cpp" "tests/CMakeFiles/parcel_tests.dir/test_browser_integration.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_browser_integration.cpp.o.d"
+  "/root/repo/tests/test_browsing_session.cpp" "tests/CMakeFiles/parcel_tests.dir/test_browsing_session.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_browsing_session.cpp.o.d"
+  "/root/repo/tests/test_core_analysis.cpp" "tests/CMakeFiles/parcel_tests.dir/test_core_analysis.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_core_analysis.cpp.o.d"
+  "/root/repo/tests/test_core_bundles.cpp" "tests/CMakeFiles/parcel_tests.dir/test_core_bundles.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_core_bundles.cpp.o.d"
+  "/root/repo/tests/test_core_client.cpp" "tests/CMakeFiles/parcel_tests.dir/test_core_client.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_core_client.cpp.o.d"
+  "/root/repo/tests/test_core_experiment.cpp" "tests/CMakeFiles/parcel_tests.dir/test_core_experiment.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_core_experiment.cpp.o.d"
+  "/root/repo/tests/test_core_session.cpp" "tests/CMakeFiles/parcel_tests.dir/test_core_session.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_core_session.cpp.o.d"
+  "/root/repo/tests/test_engine_edge.cpp" "tests/CMakeFiles/parcel_tests.dir/test_engine_edge.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_engine_edge.cpp.o.d"
+  "/root/repo/tests/test_lte.cpp" "tests/CMakeFiles/parcel_tests.dir/test_lte.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_lte.cpp.o.d"
+  "/root/repo/tests/test_net_http.cpp" "tests/CMakeFiles/parcel_tests.dir/test_net_http.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_net_http.cpp.o.d"
+  "/root/repo/tests/test_net_link.cpp" "tests/CMakeFiles/parcel_tests.dir/test_net_link.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_net_link.cpp.o.d"
+  "/root/repo/tests/test_net_tcp.cpp" "tests/CMakeFiles/parcel_tests.dir/test_net_tcp.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_net_tcp.cpp.o.d"
+  "/root/repo/tests/test_net_url_dns.cpp" "tests/CMakeFiles/parcel_tests.dir/test_net_url_dns.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_net_url_dns.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/parcel_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proxied_browser.cpp" "tests/CMakeFiles/parcel_tests.dir/test_proxied_browser.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_proxied_browser.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/parcel_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_session_details.cpp" "tests/CMakeFiles/parcel_tests.dir/test_session_details.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_session_details.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/parcel_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/parcel_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/parcel_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/parcel_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_web_generator.cpp" "tests/CMakeFiles/parcel_tests.dir/test_web_generator.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_web_generator.cpp.o.d"
+  "/root/repo/tests/test_web_page.cpp" "tests/CMakeFiles/parcel_tests.dir/test_web_page.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_web_page.cpp.o.d"
+  "/root/repo/tests/test_web_parsers.cpp" "tests/CMakeFiles/parcel_tests.dir/test_web_parsers.cpp.o" "gcc" "tests/CMakeFiles/parcel_tests.dir/test_web_parsers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parcel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/parcel_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/parcel_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/parcel_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/parcel_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/parcel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parcel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
