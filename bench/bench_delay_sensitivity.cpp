@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
     core::RunConfig cfg = bench::replay_run_config(71);
     cfg.testbed.server_delay = util::Duration::millis(one_way_ms);
     bench::PageMedians ind =
-        bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+        bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
     bench::PageMedians onld =
-        bench::run_corpus(core::Scheme::kParcelOnld, corpus, opts.rounds, cfg);
+        bench::run_corpus(core::Scheme::kParcelOnld, corpus, opts.rounds, cfg, opts.jobs);
 
     std::vector<double> olt_penalty, energy_delta;
     for (std::size_t i = 0; i < ind.olt_sec.size(); ++i) {

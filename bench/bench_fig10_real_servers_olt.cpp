@@ -13,19 +13,32 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::live_run_config(101);
 
   // Live mode: run against the *unnormalized* pages (fetchRand active).
-  std::vector<double> dir_olt, parcel_olt;
+  // Fan the whole (page × round × scheme) grid across workers; slot
+  // indexing keeps the medians identical to the serial loops.
+  std::vector<core::ExperimentTask> tasks;
   for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
-    util::Summary dir_s, parcel_s;
     for (int r = 0; r < opts.rounds; ++r) {
       core::RunConfig run_cfg = cfg;
       run_cfg.seed = cfg.seed + 211ULL * p + 13ULL * r;
       run_cfg.testbed.fade_seed = run_cfg.seed * 3 + 1;
-      auto dir = core::ExperimentRunner::run(core::Scheme::kDir,
-                                             *corpus.live_pages[p], run_cfg);
-      auto parcel = core::ExperimentRunner::run(
-          core::Scheme::kParcel512K, *corpus.live_pages[p], run_cfg);
-      dir_s.add(dir.olt.sec());
-      parcel_s.add(parcel.olt.sec());
+      tasks.push_back(core::ExperimentTask{core::Scheme::kDir,
+                                           corpus.live_pages[p].get(),
+                                           run_cfg});
+      tasks.push_back(core::ExperimentTask{core::Scheme::kParcel512K,
+                                           corpus.live_pages[p].get(),
+                                           run_cfg});
+    }
+  }
+  std::vector<core::RunResult> results =
+      core::run_experiments(tasks, opts.jobs);
+
+  std::vector<double> dir_olt, parcel_olt;
+  std::size_t slot = 0;
+  for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
+    util::Summary dir_s, parcel_s;
+    for (int r = 0; r < opts.rounds; ++r) {
+      dir_s.add(results[slot++].olt.sec());
+      parcel_s.add(results[slot++].olt.sec());
     }
     dir_olt.push_back(dir_s.median());
     parcel_olt.push_back(parcel_s.median());

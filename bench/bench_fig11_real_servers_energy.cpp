@@ -12,19 +12,32 @@ int main(int argc, char** argv) {
   bench::Corpus corpus = bench::build_corpus(opts.pages);
   core::RunConfig cfg = bench::live_run_config(111);
 
-  std::vector<double> dir_j, parcel_j;
+  // Same fan-out as Fig 10: the full grid runs on the worker pool and the
+  // interleaved slots are read back in the serial loops' order.
+  std::vector<core::ExperimentTask> tasks;
   for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
-    util::Summary dir_s, parcel_s;
     for (int r = 0; r < opts.rounds; ++r) {
       core::RunConfig run_cfg = cfg;
       run_cfg.seed = cfg.seed + 223ULL * p + 19ULL * r;
       run_cfg.testbed.fade_seed = run_cfg.seed * 5 + 1;
-      auto dir = core::ExperimentRunner::run(core::Scheme::kDir,
-                                             *corpus.live_pages[p], run_cfg);
-      auto parcel = core::ExperimentRunner::run(
-          core::Scheme::kParcel512K, *corpus.live_pages[p], run_cfg);
-      dir_s.add(dir.radio.total.j());
-      parcel_s.add(parcel.radio.total.j());
+      tasks.push_back(core::ExperimentTask{core::Scheme::kDir,
+                                           corpus.live_pages[p].get(),
+                                           run_cfg});
+      tasks.push_back(core::ExperimentTask{core::Scheme::kParcel512K,
+                                           corpus.live_pages[p].get(),
+                                           run_cfg});
+    }
+  }
+  std::vector<core::RunResult> results =
+      core::run_experiments(tasks, opts.jobs);
+
+  std::vector<double> dir_j, parcel_j;
+  std::size_t slot = 0;
+  for (std::size_t p = 0; p < corpus.live_pages.size(); ++p) {
+    util::Summary dir_s, parcel_s;
+    for (int r = 0; r < opts.rounds; ++r) {
+      dir_s.add(results[slot++].radio.total.j());
+      parcel_s.add(results[slot++].radio.total.j());
     }
     dir_j.push_back(dir_s.median());
     parcel_j.push_back(parcel_s.median());

@@ -15,9 +15,9 @@ int main(int argc, char** argv) {
   wired.testbed = bench::wired_testbed_config();
 
   bench::PageMedians cell =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cellular);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cellular, opts.jobs);
   bench::PageMedians wire =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, wired);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, wired, opts.jobs);
 
   bench::print_cdf("Cellular download OLT (s)", cell.olt_sec);
   bench::print_cdf("Wired download OLT (s)", wire.olt_sec);

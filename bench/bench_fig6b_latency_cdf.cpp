@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::replay_run_config(21);
 
   bench::PageMedians dir =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg, opts.jobs);
   bench::PageMedians ind =
-      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
 
   bench::print_cdf("PARCEL OLT (s)", ind.olt_sec);
   bench::print_cdf("PARCEL TLT (s)", ind.tlt_sec);

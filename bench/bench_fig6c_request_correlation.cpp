@@ -13,9 +13,9 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::replay_run_config(33);
 
   bench::PageMedians dir =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg, opts.jobs);
   bench::PageMedians ind =
-      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
 
   std::vector<double> requests, reduction;
   std::printf("%12s %22s\n", "#requests", "TLT reduction (s)");

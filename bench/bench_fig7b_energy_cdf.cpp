@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::replay_run_config(41);
 
   bench::PageMedians dir =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg, opts.jobs);
   bench::PageMedians ind =
-      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
 
   bench::print_cdf("PARCEL total radio energy (J)", ind.radio_j);
   bench::print_cdf("DIR total radio energy (J)", dir.radio_j);

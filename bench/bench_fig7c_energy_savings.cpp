@@ -13,9 +13,9 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::replay_run_config(43);
 
   bench::PageMedians dir =
-      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kDir, corpus, opts.rounds, cfg, opts.jobs);
   bench::PageMedians ind =
-      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
 
   std::vector<double> total_savings, cr_share;
   std::printf("%6s %14s %18s %18s\n", "page", "size(MB)", "total saved(%)",

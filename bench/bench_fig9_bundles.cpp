@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   core::RunConfig cfg = bench::replay_run_config(91);
 
   bench::PageMedians ind =
-      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg);
+      bench::run_corpus(core::Scheme::kParcelInd, corpus, opts.rounds, cfg, opts.jobs);
 
   struct Variant {
     core::Scheme scheme;
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       {core::Scheme::kParcelOnld, "PARCEL(ONLD)", {}},
   };
   for (auto& v : variants) {
-    v.medians = bench::run_corpus(v.scheme, corpus, opts.rounds, cfg);
+    v.medians = bench::run_corpus(v.scheme, corpus, opts.rounds, cfg, opts.jobs);
   }
 
   std::printf("\n--- Fig 9a: OLT increase vs IND (s) ---\n");

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   };
   std::map<core::Scheme, bench::PageMedians> results;
   for (core::Scheme s : schemes) {
-    results[s] = bench::run_corpus(s, corpus, opts.rounds, cfg);
+    results[s] = bench::run_corpus(s, corpus, opts.rounds, cfg, opts.jobs);
   }
 
   std::printf("%-14s %10s %10s %12s %10s\n", "scheme", "med OLT", "med TLT",

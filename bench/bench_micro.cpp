@@ -1,7 +1,15 @@
 // Microbenchmarks (google-benchmark) for the substrate hot paths: the
 // parsers the proxy runs per page, the MHTML codec on the push path, the
-// event kernel, and the trace energy analyzer.
+// event kernel, and the trace energy analyzer. Also hosts the scheduler
+// allocation regression: before benchmarks run, main() schedules and
+// fires one million no-op events under a counting operator-new hook and
+// aborts if the kernel ever allocates per event again.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "lte/energy.hpp"
 #include "sim/scheduler.hpp"
@@ -10,6 +18,27 @@
 #include "web/html.hpp"
 #include "web/js.hpp"
 #include "web/mhtml.hpp"
+
+// Counting allocation hook (this binary only): lets the regression below
+// measure exactly how many heap allocations the scheduler hot path makes.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -108,6 +137,62 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput);
 
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  // The proxy's completion heuristic re-arms (cancel + reschedule) a
+  // timer on every intercepted object; this measures that path.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::EventHandle timer;
+    for (int i = 0; i < 1'000; ++i) {
+      timer.cancel();
+      timer = sched.schedule_after(util::Duration::seconds(1.5), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1'000);
+}
+BENCHMARK(BM_SchedulerScheduleCancel);
+
+// Regression guard for the kernel fast path: a million fire-and-forget
+// events must not allocate per event (handles are lazy; entries live in
+// the heap vector). The only allowed allocations are the heap vector's
+// ~20 geometric regrowths plus small constant noise.
+void scheduler_allocation_regression() {
+  constexpr std::size_t kEvents = 1'000'000;
+  constexpr std::uint64_t kAllocBudget = 64;
+  sim::Scheduler sched;
+  const std::uint64_t before = g_allocations.load();
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    sched.schedule_after(util::Duration::micros(1), [] {});
+  }
+  if (sched.pending_events() != kEvents) {
+    std::fprintf(stderr, "scheduler regression: expected %zu pending, %zu\n",
+                 kEvents, sched.pending_events());
+    std::exit(1);
+  }
+  sched.run();
+  const std::uint64_t allocs = g_allocations.load() - before;
+  if (sched.events_executed() != kEvents) {
+    std::fprintf(stderr, "scheduler regression: executed %llu of %zu\n",
+                 static_cast<unsigned long long>(sched.events_executed()),
+                 kEvents);
+    std::exit(1);
+  }
+  if (allocs > kAllocBudget) {
+    std::fprintf(stderr,
+                 "scheduler regression: %llu allocations for %zu no-op "
+                 "events (budget %llu) — the kernel allocates per event "
+                 "again\n",
+                 static_cast<unsigned long long>(allocs), kEvents,
+                 static_cast<unsigned long long>(kAllocBudget));
+    std::exit(1);
+  }
+  std::printf("scheduler alloc regression OK: %llu allocations for %zu "
+              "schedule+fire events\n",
+              static_cast<unsigned long long>(allocs), kEvents);
+}
+
 void BM_EnergyAnalyzer(benchmark::State& state) {
   trace::PacketTrace trace;
   util::Rng rng(5);
@@ -128,4 +213,11 @@ BENCHMARK(BM_EnergyAnalyzer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  scheduler_allocation_regression();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,12 +31,24 @@ int main(int argc, char** argv) {
       {"PARCEL", core::Scheme::kParcelInd, "proxy", "client", "yes"},
   };
 
+  // All (scheme × page) runs fan out together; slots are read back
+  // scheme-major, page-minor — the serial loop's order.
+  std::vector<core::ExperimentTask> tasks;
+  for (const Row& row : rows) {
+    for (const web::WebPage* page : corpus.replayed) {
+      tasks.push_back(core::ExperimentTask{row.scheme, page, cfg});
+    }
+  }
+  std::vector<core::RunResult> results =
+      core::run_experiments(tasks, opts.jobs);
+
   std::printf("%-22s %10s %12s %10s %12s %10s\n", "scheme", "tcp-conns",
               "http-reqs", "obj-ident", "interactJS", "cell-frndly");
+  std::size_t slot = 0;
   for (const Row& row : rows) {
     util::Summary conns, reqs;
-    for (const web::WebPage* page : corpus.replayed) {
-      core::RunResult r = core::ExperimentRunner::run(row.scheme, *page, cfg);
+    for (std::size_t p = 0; p < corpus.replayed.size(); ++p) {
+      const core::RunResult& r = results[slot++];
       conns.add(static_cast<double>(r.tcp_connections));
       reqs.add(static_cast<double>(r.radio_http_requests));
     }

@@ -1,5 +1,7 @@
 #include "bench/common.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace parcel::bench {
@@ -18,13 +20,49 @@ Corpus build_corpus(int pages, std::uint64_t seed) {
   return corpus;
 }
 
+namespace {
+
+// Strict positive-integer parse; anything else (garbage, trailing junk,
+// zero, negatives, overflow) is a usage error, not a silent default.
+int parse_positive(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v <= 0 || v > 1'000'000) {
+    std::fprintf(stderr,
+                 "error: %s expects a positive integer, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+namespace {
+
+// Fetches the value following a `--flag`; a trailing flag with no value
+// is a usage error, not a silent no-op.
+const char* flag_value(const char* flag, int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s expects a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
 BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pages") == 0 && i + 1 < argc) {
-      opts.pages = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
-      opts.rounds = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--pages") == 0) {
+      opts.pages = parse_positive("--pages", flag_value("--pages", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      opts.rounds =
+          parse_positive("--rounds", flag_value("--rounds", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      opts.jobs = parse_positive("--jobs", flag_value("--jobs", argc, argv, i));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
       opts.pages = 10;
@@ -63,18 +101,32 @@ core::TestbedConfig wired_testbed_config() {
 }
 
 PageMedians run_corpus(core::Scheme scheme, const Corpus& corpus, int rounds,
-                       const core::RunConfig& base) {
-  PageMedians out;
+                       const core::RunConfig& base, int jobs) {
+  // The (page × round) grid is embarrassingly parallel: each run derives
+  // its seeds from (base, p, r) below and builds a private testbed. The
+  // corpus is shared read-only across workers. Results land in grid slots,
+  // so the per-page medians are bitwise identical for any jobs value.
+  std::vector<core::ExperimentTask> tasks;
+  tasks.reserve(corpus.replayed.size() * static_cast<std::size_t>(rounds));
   for (std::size_t p = 0; p < corpus.replayed.size(); ++p) {
-    util::Summary olt, tlt, radio, cr, reqs;
     for (int r = 0; r < rounds; ++r) {
       core::RunConfig cfg = base;
       cfg.seed = base.seed + 101ULL * p + 13ULL * r + 1;
       if (cfg.testbed.fade) {
         cfg.testbed.fade_seed = cfg.seed * 7 + 3;
       }
-      core::RunResult result =
-          core::ExperimentRunner::run(scheme, *corpus.replayed[p], cfg);
+      tasks.push_back(core::ExperimentTask{scheme, corpus.replayed[p], cfg});
+    }
+  }
+  std::vector<core::RunResult> results = core::run_experiments(tasks, jobs);
+
+  PageMedians out;
+  for (std::size_t p = 0; p < corpus.replayed.size(); ++p) {
+    util::Summary olt, tlt, radio, cr, reqs;
+    for (int r = 0; r < rounds; ++r) {
+      const core::RunResult& result =
+          results[p * static_cast<std::size_t>(rounds) +
+                  static_cast<std::size_t>(r)];
       olt.add(result.olt.sec());
       tlt.add(result.tlt.sec());
       radio.add(result.radio.total.j());

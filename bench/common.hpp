@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/parallel_runner.hpp"
 #include "replay/replay_store.hpp"
 #include "util/stats.hpp"
 #include "web/generator.hpp"
@@ -29,10 +30,15 @@ Corpus build_corpus(int pages, std::uint64_t seed = 2014);
 struct BenchOptions {
   int pages = 34;   // paper's page count
   int rounds = 3;   // kept small for bench runtime; raise via --rounds
+  /// Worker threads for experiment fan-out; defaults to every hardware
+  /// thread. --jobs 1 reproduces the historical strictly-serial benches
+  /// (results are bitwise identical either way).
+  int jobs = core::default_jobs();
   bool quick = false;
 };
 
-/// Parse --pages N / --rounds N / --quick from argv.
+/// Parse --pages N / --rounds N / --jobs N / --quick from argv. Malformed
+/// or non-positive values abort with a clear error on stderr.
 BenchOptions parse_options(int argc, char** argv);
 
 /// Default controlled-replay run configuration (§7.2: no fading in the
@@ -58,7 +64,7 @@ struct PageMedians {
 };
 
 PageMedians run_corpus(core::Scheme scheme, const Corpus& corpus, int rounds,
-                       const core::RunConfig& base);
+                       const core::RunConfig& base, int jobs = 1);
 
 void print_header(const char* figure, const char* caption);
 void print_cdf(const char* label, const std::vector<double>& samples);

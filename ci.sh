@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Minimal CI: Release build + full test suite, then a ThreadSanitizer
+# build that runs the parallel-runner tests to prove the experiment
+# fan-out is race-free. Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "==> Release build + ctest"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "==> Scheduler allocation regression + microbenchmarks (smoke)"
+# (no --benchmark_min_time: the flag's value syntax changed across
+# google-benchmark versions; the Scheduler filter is fast regardless)
+./build-ci/bench/bench_micro --benchmark_filter='Scheduler'
+
+echo "==> Parallel scaling bench (writes BENCH_parallel.json)"
+(cd build-ci/bench && ./bench_parallel_scaling --quick)
+
+echo "==> ThreadSanitizer: parallel runner must be race-free"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPARCEL_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target parcel_tests
+./build-tsan/tests/parcel_tests \
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*'
+
+echo "==> CI green"

@@ -5,6 +5,7 @@
 #include "browser/cloud_browser.hpp"
 #include "browser/dir_browser.hpp"
 #include "browser/proxied_browser.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/session.hpp"
 #include "util/stats.hpp"
 
@@ -289,9 +290,15 @@ RoundsOutcome run_rounds(const web::WebPage& page,
                          const RoundsConfig& config) {
   RoundsOutcome outcome;
   outcome.rounds_total = config.rounds;
+  if (schemes.empty()) return outcome;
+
+  // Every run's seeds are a pure function of (base seed, round, scheme
+  // slot), so the whole (round × scheme) grid can fan out across workers;
+  // results land in their grid slot and the filtering below reads them in
+  // the original serial order.
+  std::vector<ExperimentTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(config.rounds) * schemes.size());
   for (int round = 0; round < config.rounds; ++round) {
-    std::vector<RunResult> round_results;
-    round_results.reserve(schemes.size());
     for (std::size_t i = 0; i < schemes.size(); ++i) {
       RunConfig run_cfg = config.base;
       // Back-to-back runs see different instantaneous radio conditions:
@@ -299,16 +306,21 @@ RoundsOutcome run_rounds(const web::WebPage& page,
       run_cfg.seed = config.base.seed + 1000003ULL * round + 97ULL * i;
       run_cfg.testbed.fade_seed =
           config.base.testbed.fade_seed + 7919ULL * round + 31ULL * i + 1;
-      round_results.push_back(
-          ExperimentRunner::run(schemes[i], page, run_cfg));
+      tasks.push_back(ExperimentTask{schemes[i], &page, run_cfg});
     }
+  }
+  std::vector<RunResult> results = run_experiments(tasks, config.jobs);
+
+  for (int round = 0; round < config.rounds; ++round) {
+    auto* round_results =
+        &results[static_cast<std::size_t>(round) * schemes.size()];
     if (config.discard_first_round && round == 0) continue;
     // Signal comparability filter (§7.2).
-    double lo = round_results.front().mean_signal_dbm;
+    double lo = round_results[0].mean_signal_dbm;
     double hi = lo;
-    for (const auto& r : round_results) {
-      lo = std::min(lo, r.mean_signal_dbm);
-      hi = std::max(hi, r.mean_signal_dbm);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      lo = std::min(lo, round_results[i].mean_signal_dbm);
+      hi = std::max(hi, round_results[i].mean_signal_dbm);
     }
     if (hi - lo > config.signal_tolerance_db) continue;
     ++outcome.rounds_kept;

@@ -91,6 +91,11 @@ struct RoundsConfig {
   double signal_tolerance_db = 3.0;
   /// Paper ignores the first run of each round (warm-up effects).
   bool discard_first_round = true;
+  /// Worker threads fanning the (round × scheme) runs out. Every run's
+  /// seed is derived from (base seed, round, scheme slot) up front, so any
+  /// jobs value produces bitwise-identical results; 1 runs inline on the
+  /// calling thread, <= 0 selects hardware_concurrency.
+  int jobs = 1;
   RunConfig base;
 };
 

@@ -1,0 +1,67 @@
+#include "core/parallel_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace parcel::core {
+
+int default_jobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs <= 0 ? default_jobs() : jobs) {}
+
+void ParallelRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Work queue: an atomic cursor over [0, n). Simulations vary widely in
+  // cost (page size, scheme), so dynamic stealing beats static striping.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its weight too
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> run_experiments(const std::vector<ExperimentTask>& tasks,
+                                       int jobs) {
+  std::vector<RunResult> results(tasks.size());
+  ParallelRunner runner(jobs);
+  runner.for_each_index(tasks.size(), [&](std::size_t i) {
+    const ExperimentTask& t = tasks[i];
+    results[i] = ExperimentRunner::run(t.scheme, *t.page, t.config);
+  });
+  return results;
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,57 @@
+// Parallel experiment fan-out (paper §7-§8 evaluation at corpus scale).
+//
+// Every (page × scheme × round) run is an independent deterministic
+// simulation: it builds its own Testbed (own Scheduler, Network, RNG) from
+// an explicit seed, so runs share no mutable state and can execute on any
+// thread. ParallelRunner fans a batch of such runs across a fixed-size
+// worker pool; results land in pre-indexed slots, so output ordering — and
+// therefore every downstream median/CDF — is bitwise identical to the
+// serial path. jobs=1 executes inline on the calling thread (today's
+// behavior, exactly).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace parcel::core {
+
+/// Number of worker threads used when a caller passes jobs <= 0:
+/// std::thread::hardware_concurrency(), or 1 if that is unknown.
+[[nodiscard]] int default_jobs();
+
+/// Fixed-size worker pool over an indexed batch of independent tasks.
+class ParallelRunner {
+ public:
+  /// jobs <= 0 selects default_jobs().
+  explicit ParallelRunner(int jobs = 0);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Invoke `fn(i)` for every i in [0, n), distributing indices across the
+  /// pool; blocks until all complete. With jobs()==1 (or n<=1) everything
+  /// runs inline on the calling thread. The first exception thrown by any
+  /// task is rethrown here after all workers have stopped.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int jobs_ = 1;
+};
+
+/// One ExperimentRunner::run invocation, fully described by value (the
+/// page is borrowed and must outlive the batch).
+struct ExperimentTask {
+  Scheme scheme = Scheme::kDir;
+  const web::WebPage* page = nullptr;
+  RunConfig config;
+};
+
+/// Run every task (in any thread order) and return results indexed exactly
+/// like `tasks` — slot i always holds the result of tasks[i].
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const std::vector<ExperimentTask>& tasks, int jobs);
+
+}  // namespace parcel::core

@@ -1,24 +1,27 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace parcel::sim {
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (auto owner = owner_.lock()) (*owner)->cancel_seq(seq_);
 }
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  auto owner = owner_.lock();
+  return owner && (*owner)->pending_seq(seq_);
 }
 
 EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("schedule_at: empty callback");
   if (when < now_) when = now_;
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
-  return EventHandle{state};
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{when, seq, /*cancelled=*/false, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{self_, seq};
 }
 
 EventHandle Scheduler::schedule_after(Duration delay,
@@ -26,15 +29,31 @@ EventHandle Scheduler::schedule_after(Duration delay,
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Scheduler::cancel_seq(std::uint64_t seq) {
+  // Cancellation is rare relative to scheduling; a linear scan over the
+  // (small) pending set beats paying an allocation on every schedule.
+  for (Entry& e : heap_) {
+    if (e.seq == seq) {
+      e.cancelled = true;
+      return;
+    }
+  }
+}
+
+bool Scheduler::pending_seq(std::uint64_t seq) const {
+  for (const Entry& e : heap_) {
+    if (e.seq == seq) return !e.cancelled;
+  }
+  return false;  // already fired (or cancelled and popped)
+}
+
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    // Copying out of the priority queue top is unavoidable with
-    // std::priority_queue; Entry's function object is small in practice.
-    Entry e = queue_.top();
-    queue_.pop();
-    if (e.state->cancelled) continue;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    if (e.cancelled) continue;
     now_ = e.when;
-    e.state->fired = true;
     ++executed_;
     e.fn();
     return true;
@@ -49,7 +68,7 @@ TimePoint Scheduler::run() {
 }
 
 void Scheduler::run_until(TimePoint deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!heap_.empty() && heap_.front().when <= deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

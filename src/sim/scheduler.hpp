@@ -5,12 +5,19 @@
 // it; Scheduler::run() drains the queue in time order. Events fired at the
 // same instant run in scheduling order (FIFO tie-break), which keeps runs
 // deterministic.
+//
+// Hot-path notes: the queue is a vector-backed binary heap so the top
+// entry is *moved* out on fire (std::priority_queue only exposes a const
+// top, forcing a copy of the std::function). Event handles are lazy —
+// scheduling allocates nothing; a handle resolves its event through the
+// scheduler by sequence number only when cancel()/pending() is actually
+// called, so the common fire-and-forget path does zero shared_ptr
+// allocations per event.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/units.hpp"
@@ -20,26 +27,28 @@ namespace parcel::sim {
 using util::Duration;
 using util::TimePoint;
 
+class Scheduler;
+
 /// Handle to a scheduled event; allows cancellation. Copyable; all copies
 /// refer to the same pending event.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Prevent the event from firing. Safe to call after it has fired or on
-  /// a default-constructed handle (no-ops).
+  /// Prevent the event from firing. Safe to call after it has fired, after
+  /// the scheduler is gone, or on a default-constructed handle (no-ops).
   void cancel();
 
   [[nodiscard]] bool pending() const;
 
  private:
   friend class Scheduler;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(std::weak_ptr<Scheduler*> owner, std::uint64_t seq)
+      : owner_(std::move(owner)), seq_(seq) {}
+  // Weak reference to the owning scheduler's liveness token (one token per
+  // scheduler, not per event); the seq identifies the event.
+  std::weak_ptr<Scheduler*> owner_;
+  std::uint64_t seq_ = 0;
 };
 
 class Scheduler {
@@ -68,16 +77,18 @@ class Scheduler {
   /// Execute exactly one event if any is pending. Returns false when idle.
   bool step();
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
  private:
+  friend class EventHandle;
+
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
+    bool cancelled;
     std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -86,10 +97,18 @@ class Scheduler {
     }
   };
 
+  void cancel_seq(std::uint64_t seq);
+  [[nodiscard]] bool pending_seq(std::uint64_t seq) const;
+
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Min-heap on (when, seq) maintained with std::push_heap/std::pop_heap;
+  // cancelled entries stay in place and are skipped when popped.
+  std::vector<Entry> heap_;
+  // Liveness token handed to EventHandles as a weak_ptr; expires with the
+  // scheduler so stale handles degrade to no-ops instead of dangling.
+  std::shared_ptr<Scheduler*> self_ = std::make_shared<Scheduler*>(this);
 };
 
 }  // namespace parcel::sim

@@ -1,6 +1,7 @@
-// Minimal leveled logger. The simulator is single-threaded per experiment,
-// so no synchronization is needed; multi-experiment benches run experiments
-// sequentially.
+// Minimal leveled logger. Each simulated experiment is single-threaded,
+// but the parallel runner executes experiments on concurrent workers: the
+// level gate is atomic, and emission is a single fprintf (line-buffered
+// stderr keeps concurrent lines whole).
 #pragma once
 
 #include <string>

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel_runner.hpp"
+#include "replay/replay_store.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::core {
+namespace {
+
+const web::WebPage& test_page() {
+  static web::WebPage* page = [] {
+    web::PageSpec spec;
+    spec.site = "par.example.com";
+    spec.object_count = 30;
+    spec.total_bytes = util::kib(400);
+    spec.seed = 23;
+    static replay::ReplayStore store;
+    store.record(web::PageGenerator::generate(spec));
+    return const_cast<web::WebPage*>(store.find("http://par.example.com/"));
+  }();
+  return *page;
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kDir,        Scheme::kHttpProxy,  Scheme::kSpdyProxy,
+          Scheme::kParcelInd,  Scheme::kParcelOnld, Scheme::kParcel512K,
+          Scheme::kParcel1M,   Scheme::kParcel2M,   Scheme::kCloudBrowser};
+}
+
+// The determinism contract: a RunResult must be identical whether the run
+// executed inline or on a worker thread.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.ok, b.ok);
+  // Bitwise, not approximate: same seed -> same simulation -> same bits.
+  EXPECT_EQ(a.olt.sec(), b.olt.sec());
+  EXPECT_EQ(a.tlt.sec(), b.tlt.sec());
+  EXPECT_EQ(a.radio.total.j(), b.radio.total.j());
+  EXPECT_EQ(a.radio.cr.j(), b.radio.cr.j());
+  EXPECT_EQ(a.cpu_busy.sec(), b.cpu_busy.sec());
+  EXPECT_EQ(a.radio_http_requests, b.radio_http_requests);
+  EXPECT_EQ(a.tcp_connections, b.tcp_connections);
+  EXPECT_EQ(a.dns_lookups, b.dns_lookups);
+  EXPECT_EQ(a.objects_loaded, b.objects_loaded);
+  EXPECT_EQ(a.bundles, b.bundles);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.downlink_bytes, b.downlink_bytes);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  EXPECT_EQ(a.mean_signal_dbm, b.mean_signal_dbm);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(ParallelRunner, DefaultsToHardwareConcurrency) {
+  EXPECT_GE(default_jobs(), 1);
+  EXPECT_EQ(ParallelRunner(0).jobs(), default_jobs());
+  EXPECT_EQ(ParallelRunner(-3).jobs(), default_jobs());
+  EXPECT_EQ(ParallelRunner(4).jobs(), 4);
+}
+
+TEST(ParallelRunner, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelRunner runner(4);
+  runner.for_each_index(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelRunner, SingleJobRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  ParallelRunner runner(1);
+  runner.for_each_index(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunner, PropagatesTaskExceptions) {
+  ParallelRunner runner(4);
+  EXPECT_THROW(runner.for_each_index(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("task 37");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, ZeroTasksIsANoop) {
+  ParallelRunner runner(4);
+  runner.for_each_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(RunExperiments, ParallelMatchesSerialForEveryScheme) {
+  std::vector<ExperimentTask> tasks;
+  std::uint64_t seed = 5;
+  for (Scheme s : all_schemes()) {
+    RunConfig cfg;
+    cfg.seed = seed++;
+    tasks.push_back(ExperimentTask{s, &test_page(), cfg});
+  }
+  std::vector<RunResult> serial = run_experiments(tasks, 1);
+  std::vector<RunResult> parallel = run_experiments(tasks, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(to_string(tasks[i].scheme));
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(RunRounds, Jobs4BitwiseIdenticalToJobs1) {
+  RoundsConfig cfg;
+  cfg.rounds = 3;
+  cfg.base.testbed.fade = lte::FadeProcess::Params{};
+  std::vector<Scheme> schemes = all_schemes();
+
+  cfg.jobs = 1;
+  RoundsOutcome serial = run_rounds(test_page(), schemes, cfg);
+  cfg.jobs = 4;
+  RoundsOutcome parallel = run_rounds(test_page(), schemes, cfg);
+
+  EXPECT_EQ(serial.rounds_total, parallel.rounds_total);
+  EXPECT_EQ(serial.rounds_kept, parallel.rounds_kept);
+  ASSERT_EQ(serial.series.size(), parallel.series.size());
+  for (const auto& [scheme, series] : serial.series) {
+    SCOPED_TRACE(to_string(scheme));
+    ASSERT_TRUE(parallel.series.contains(scheme));
+    const SchemeSeries& other = parallel.series.at(scheme);
+    ASSERT_EQ(series.runs.size(), other.runs.size());
+    for (std::size_t i = 0; i < series.runs.size(); ++i) {
+      expect_identical(series.runs[i], other.runs[i]);
+    }
+    // The figures are built from these medians; they must not move.
+    EXPECT_EQ(series.median_olt_sec(), other.median_olt_sec());
+    EXPECT_EQ(series.median_tlt_sec(), other.median_tlt_sec());
+    EXPECT_EQ(series.median_radio_j(), other.median_radio_j());
+    EXPECT_EQ(series.median_cr_j(), other.median_cr_j());
+  }
+}
+
+TEST(RunRounds, OversubscribedJobsStillIdentical) {
+  // More workers than tasks must not change anything either.
+  RoundsConfig cfg;
+  cfg.rounds = 2;
+  cfg.discard_first_round = false;
+  std::vector<Scheme> schemes{Scheme::kDir, Scheme::kParcelInd};
+
+  cfg.jobs = 1;
+  RoundsOutcome serial = run_rounds(test_page(), schemes, cfg);
+  cfg.jobs = 16;
+  RoundsOutcome parallel = run_rounds(test_page(), schemes, cfg);
+
+  EXPECT_EQ(serial.rounds_kept, parallel.rounds_kept);
+  for (const auto& [scheme, series] : serial.series) {
+    const SchemeSeries& other = parallel.series.at(scheme);
+    ASSERT_EQ(series.runs.size(), other.runs.size());
+    for (std::size_t i = 0; i < series.runs.size(); ++i) {
+      expect_identical(series.runs[i], other.runs[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parcel::core
