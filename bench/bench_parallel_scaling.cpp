@@ -6,6 +6,7 @@
 // kernel against a std::priority_queue replica of the pre-rewrite kernel.
 // Results go to stdout and to BENCH_parallel.json so the perf trajectory
 // is machine-trackable across PRs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -15,6 +16,7 @@
 
 #include "bench/common.hpp"
 #include "sim/scheduler.hpp"
+#include "web/parse_cache.hpp"
 
 namespace {
 
@@ -145,6 +147,10 @@ int main(int argc, char** argv) {
   std::vector<double> wall_clock(job_levels.size());
   bool identical = true;
   for (std::size_t j = 0; j < job_levels.size(); ++j) {
+    // Every job level starts from a cold parse cache; otherwise the first
+    // level pays all the scan misses and later levels look faster for
+    // reasons that have nothing to do with the worker count.
+    web::ParseCache::instance().clear();
     auto start = Clock::now();
     bench::PageMedians dir = bench::run_corpus(core::Scheme::kDir, corpus,
                                                rounds, cfg, job_levels[j]);
@@ -159,9 +165,27 @@ int main(int argc, char** argv) {
                !medians_identical(ind, serial_ind)) {
       identical = false;
     }
-    std::printf("jobs=%-2d  corpus wall-clock %.2fs  speedup %.2fx\n",
-                job_levels[j], wall_clock[j], wall_clock[0] / wall_clock[j]);
+    bool oversubscribed = job_levels[j] > hw;
+    std::printf("jobs=%-2d  corpus wall-clock %.2fs  speedup %.2fx%s\n",
+                job_levels[j], wall_clock[j], wall_clock[0] / wall_clock[j],
+                oversubscribed
+                    ? "  (oversubscribed: more workers than hardware "
+                      "threads; determinism check only)"
+                    : "");
   }
+  // Headline speedup considers only levels the hardware can actually run
+  // in parallel; oversubscribed levels exist to exercise determinism
+  // under contention, and their <1x ratios are scheduling noise, not a
+  // regression.
+  double headline_speedup = 1.0;
+  for (std::size_t j = 0; j < job_levels.size(); ++j) {
+    if (job_levels[j] <= hw) {
+      headline_speedup =
+          std::max(headline_speedup, wall_clock[0] / wall_clock[j]);
+    }
+  }
+  std::printf("headline speedup (jobs <= hardware threads): %.2fx\n",
+              headline_speedup);
   std::printf("parallel medians bitwise-identical to serial: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
 
@@ -188,10 +212,30 @@ int main(int argc, char** argv) {
                  wall_clock[j]);
   }
   std::fprintf(json, "},\n");
+  // Speedups split by whether the level fits the hardware: only
+  // "speedup" rows are meaningful as a perf signal; "oversubscribed"
+  // rows run more workers than hardware threads and are kept solely as
+  // determinism coverage.
   std::fprintf(json, "  \"speedup\": {");
+  bool first = true;
   for (std::size_t j = 0; j < job_levels.size(); ++j) {
-    std::fprintf(json, "%s\"jobs_%d\": %.3f", j ? ", " : "", job_levels[j],
+    if (job_levels[j] > hw) continue;
+    std::fprintf(json, "%s\"jobs_%d\": %.3f", first ? "" : ", ",
+                 job_levels[j], wall_clock[0] / wall_clock[j]);
+    first = false;
+  }
+  std::fprintf(json, "},\n");
+  std::fprintf(json, "  \"headline_speedup\": %.3f,\n", headline_speedup);
+  std::fprintf(json, "  \"oversubscribed\": {");
+  first = true;
+  for (std::size_t j = 0; j < job_levels.size(); ++j) {
+    if (job_levels[j] <= hw) continue;
+    std::fprintf(json,
+                 "%s\"jobs_%d\": {\"wall_clock_ratio\": %.3f, "
+                 "\"excluded_from_headline\": true}",
+                 first ? "" : ", ", job_levels[j],
                  wall_clock[0] / wall_clock[j]);
+    first = false;
   }
   std::fprintf(json, "},\n");
   std::fprintf(json, "  \"deterministic_across_jobs\": %s,\n",

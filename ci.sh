@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Minimal CI: Release build + full test suite, then a ThreadSanitizer
-# build that runs the parallel-runner tests to prove the experiment
-# fan-out is race-free. Usage: ./ci.sh [jobs]
+# Minimal CI: Release build + full test suite, a parse-cache smoke, then
+# a ThreadSanitizer build that runs the parallel-runner and parse-cache
+# tests to prove the fan-out is race-free, and an AddressSanitizer build
+# that runs the full suite to prove the zero-copy string_view plumbing
+# never dangles. Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,11 +22,24 @@ echo "==> Scheduler allocation regression + microbenchmarks (smoke)"
 echo "==> Parallel scaling bench (writes BENCH_parallel.json)"
 (cd build-ci/bench && ./bench_parallel_scaling --quick)
 
-echo "==> ThreadSanitizer: parallel runner must be race-free"
+echo "==> Parse cache smoke (2-page corpus, hit rate must be > 0)"
+(cd build-ci/bench && ./bench_parse_cache --pages 2 --rounds 1)
+awk -F': ' '/"hit_rate"/ { rate = $2 + 0.0 }
+            END { if (rate > 0) { print "parse cache hit rate OK:", rate }
+                  else { print "parse cache hit rate is zero"; exit 1 } }' \
+  build-ci/bench/BENCH_parse_cache.json
+
+echo "==> ThreadSanitizer: parallel runner + parse cache must be race-free"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*'
+
+echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPARCEL_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target parcel_tests
+./build-asan/tests/parcel_tests
 
 echo "==> CI green"

@@ -6,6 +6,7 @@
 #include "util/strings.hpp"
 #include "web/css.hpp"
 #include "web/js.hpp"
+#include "web/parse_cache.hpp"
 
 namespace parcel::browser {
 
@@ -33,14 +34,11 @@ TimePoint BrowserEngine::complete_time() const {
   return *complete_time_;
 }
 
-void BrowserEngine::preload_cache(
-    const std::unordered_map<std::string, FetchResult>& c) {
+void BrowserEngine::preload_cache(const FetchCache& c) {
   if (load_started_) {
     throw std::logic_error(name_ + ": preload_cache after load()");
   }
-  for (const auto& [key, result] : c) {
-    cache_.emplace(key, result);
-  }
+  cache_.insert(c.begin(), c.end());
 }
 
 void BrowserEngine::load(const net::Url& main_url, Callbacks callbacks) {
@@ -55,7 +53,7 @@ void BrowserEngine::load(const net::Url& main_url, Callbacks callbacks) {
 void BrowserEngine::issue_fetch(const net::Url& url, web::ObjectType hint,
                                 bool blocking, bool randomized,
                                 bool parser_gate) {
-  std::string key = url.str();
+  net::UrlId key = url.id();
   bool warm_cache_hit = false;
   if (!randomized) {
     if (requested_.contains(key)) {
@@ -107,7 +105,7 @@ void BrowserEngine::on_fetch_result(std::uint32_t id, bool blocking,
                                     bool parser_gate,
                                     const FetchResult& result) {
   ledger_.complete(id, result.size, sched_.now(), !result.ok());
-  cache_.emplace(ledger_.entry(id).url.str(), result);
+  cache_.emplace(ledger_.entry(id).url.id(), result);
 
   auto finish = [this, blocking, parser_gate] {
     if (blocking) --outstanding_blocking_;
@@ -143,13 +141,16 @@ void BrowserEngine::on_fetch_result(std::uint32_t id, bool blocking,
       Duration cost = Duration::seconds(static_cast<double>(result.size) /
                                         config_.parse_bytes_per_sec);
       main_thread_.post(cost, blocking, [this, result, blocking, finish] {
-        reveal(web::MiniCss::scan(*result.content), result.url, blocking);
+        auto refs =
+            web::ParseCache::instance().css(*result.content, result.content);
+        reveal(*refs, result.url, blocking);
         finish();
       });
       break;
     }
     case web::ObjectType::kJs: {
-      execute_script(*result.content, result.url, blocking, finish);
+      execute_script(*result.content, result.content, result.url, blocking,
+                     finish);
       break;
     }
     case web::ObjectType::kJsAsync: {
@@ -167,19 +168,20 @@ void BrowserEngine::start_parse(const FetchResult& html) {
     throw std::logic_error(name_ + ": main HTML without content");
   }
   ParseJob job;
-  job.tokens = web::MiniHtml::scan(*html.content);
+  job.tokens = web::ParseCache::instance().html(*html.content, html.content);
+  job.content = html.content;
   job.base = html.url;
   double total_parse =
       static_cast<double>(html.size) / config_.parse_bytes_per_sec;
   job.per_token = Duration::seconds(
-      total_parse / static_cast<double>(job.tokens.size() + 1));
+      total_parse / static_cast<double>(job.tokens->size() + 1));
   parse_ = std::move(job);
   parser_step();
 }
 
 void BrowserEngine::parser_step() {
   if (!parse_ || parser_gated_) return;
-  if (parse_->next >= parse_->tokens.size()) {
+  if (parse_->next >= parse_->tokens->size()) {
     if (!parser_done_) {
       parser_done_ = true;
       check_onload();
@@ -188,7 +190,7 @@ void BrowserEngine::parser_step() {
     return;
   }
   std::size_t idx = parse_->next++;
-  const web::HtmlToken& token = parse_->tokens[idx];
+  const web::HtmlToken& token = (*parse_->tokens)[idx];
 
   main_thread_.post(parse_->per_token, /*blocking=*/true, [this, &token] {
     switch (token.kind) {
@@ -211,28 +213,34 @@ void BrowserEngine::parser_step() {
         break;
       }
       case web::HtmlToken::Kind::kInlineScript: {
-        execute_script(token.script, parse_->base, /*blocking=*/true,
-                       [this] { parser_step(); });
+        // The inline body is a view into the document; the document
+        // string is its pin.
+        execute_script(token.script, parse_->content, parse_->base,
+                       /*blocking=*/true, [this] { parser_step(); });
         break;
       }
     }
   });
 }
 
-void BrowserEngine::execute_script(const std::string& code,
+void BrowserEngine::execute_script(std::string_view code,
+                                   std::shared_ptr<const std::string> pin,
                                    const net::Url& base, bool blocking,
                                    std::function<void()> after) {
-  web::JsProgram prog = web::MiniJs::run(code);
+  auto prog = web::ParseCache::instance().js(code, pin);
   Duration cost =
-      Duration::seconds(prog.work_units / config_.js_units_per_sec);
+      Duration::seconds(prog->work_units / config_.js_units_per_sec);
+  // The posted closure holds both the artifact and the pin: with the
+  // cache disabled the artifact's views borrow straight from `pin`'s
+  // string, so it must outlive the execution.
   main_thread_.post(
       cost, blocking,
-      [this, prog = std::move(prog), base, blocking,
+      [this, prog = std::move(prog), pin = std::move(pin), base, blocking,
        after = std::move(after)] {
-        for (const auto& handler : prog.click_handlers) {
+        for (const auto& handler : prog->click_handlers) {
           click_handlers_[handler.click_index] = base.resolve(handler.target);
         }
-        reveal(prog.references, base, blocking);
+        reveal(prog->references, base, blocking);
         after();
       });
 }
@@ -245,10 +253,11 @@ void BrowserEngine::schedule_async_exec(FetchResult script) {
   double delay_s = rng_.uniform(config_.async_exec_min.sec(),
                                 config_.async_exec_max.sec());
   auto run = [this, script = std::move(script)] {
-    execute_script(*script.content, script.url, /*blocking=*/false, [this] {
-      --pending_async_execs_;
-      check_complete();
-    });
+    execute_script(*script.content, script.content, script.url,
+                   /*blocking=*/false, [this] {
+                     --pending_async_execs_;
+                     check_complete();
+                   });
   };
   if (onload_fired()) {
     sched_.schedule_after(Duration::seconds(delay_s), run);
@@ -302,7 +311,7 @@ void BrowserEngine::click(int index, std::function<void()> on_done) {
   net::Url target = it->second;
   main_thread_.post(cost, /*blocking=*/false,
                     [this, target, on_done = std::move(on_done)] {
-                      if (cache_.contains(target.str())) {
+                      if (cache_.contains(target.id())) {
                         on_done();
                         return;
                       }
@@ -317,7 +326,7 @@ void BrowserEngine::click(int index, std::function<void()> on_done) {
                                        ledger_.complete(id, result.size,
                                                         sched_.now(),
                                                         !result.ok());
-                                       cache_.emplace(result.url.str(),
+                                       cache_.emplace(result.url.id(),
                                                       result);
                                        on_done();
                                      });

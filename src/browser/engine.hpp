@@ -12,6 +12,12 @@
 // PARCEL proxy's headless load engine, the PARCEL client's renderer, and
 // the cloud browser's server-side engine — each differing only in the
 // Fetcher behind it and its device speed (EngineConfig).
+//
+// All tokenization goes through web::ParseCache: scan artifacts are
+// memoized per distinct content across every engine, run and worker
+// thread, and their string_views borrow from the immutable content
+// strings (zero copies on the hot path). Simulated parse/exec *cost* is
+// unaffected — the cache only removes real host CPU.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "web/html.hpp"
+#include "web/js.hpp"
 
 namespace parcel::browser {
 
@@ -44,6 +51,10 @@ struct EngineConfig {
   /// Cost of a cache lookup / local display on interaction.
   double click_work_units = 2.0;
 };
+
+/// Device cache: fetched results keyed by interned URL identity.
+using FetchCache =
+    std::unordered_map<net::UrlId, FetchResult, net::UrlIdHash>;
 
 class BrowserEngine {
  public:
@@ -80,24 +91,24 @@ class BrowserEngine {
   /// Objects served from the (pre-seeded) device cache without network.
   [[nodiscard]] std::size_t cache_loads() const { return cache_loads_; }
   [[nodiscard]] bool is_cached(const net::Url& url) const {
-    return cache_.contains(url.str());
+    return cache_.contains(url.id());
   }
 
   /// Seed the device cache from a previous page's engine (multi-page
   /// session support, §7.3: "some objects in subsequent pages of a
   /// session could potentially be cached in the device"). Must be called
   /// before load().
-  void preload_cache(const std::unordered_map<std::string, FetchResult>& c);
+  void preload_cache(const FetchCache& c);
 
   /// The device cache after a load; feed to the next page's engine.
-  [[nodiscard]] const std::unordered_map<std::string, FetchResult>& cache()
-      const {
-    return cache_;
-  }
+  [[nodiscard]] const FetchCache& cache() const { return cache_; }
 
  private:
   struct ParseJob {
-    std::vector<web::HtmlToken> tokens;
+    /// Shared scan artifact (from the parse cache, or freshly scanned).
+    std::shared_ptr<const std::vector<web::HtmlToken>> tokens;
+    /// Pins the document string every token's views borrow from.
+    std::shared_ptr<const std::string> content;
     std::size_t next = 0;
     Duration per_token = Duration::zero();
     net::Url base;
@@ -109,8 +120,13 @@ class BrowserEngine {
                        const FetchResult& result);
   void start_parse(const FetchResult& html);
   void parser_step();
-  void execute_script(const std::string& code, const net::Url& base,
-                      bool blocking, std::function<void()> after);
+  /// Execute a script body. `code` borrows from the string `pin` keeps
+  /// alive (the whole script file, or the surrounding document for
+  /// inline scripts).
+  void execute_script(std::string_view code,
+                      std::shared_ptr<const std::string> pin,
+                      const net::Url& base, bool blocking,
+                      std::function<void()> after);
   void schedule_async_exec(FetchResult script);
   void reveal(const std::vector<web::Reference>& refs, const net::Url& base,
               bool blocking);
@@ -132,8 +148,8 @@ class BrowserEngine {
   bool parser_done_ = false;
   bool parser_gated_ = false;  // waiting on a sync script
 
-  std::unordered_map<std::string, FetchResult> cache_;
-  std::unordered_set<std::string> requested_;
+  FetchCache cache_;
+  std::unordered_set<net::UrlId, net::UrlIdHash> requested_;
   std::size_t outstanding_blocking_ = 0;
   std::size_t outstanding_total_ = 0;
   std::size_t pending_async_execs_ = 0;

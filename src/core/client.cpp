@@ -47,7 +47,7 @@ void ParcelClientFetcher::fetch(
         url.str() + (url.query().empty() ? "?r=" : "&r=") +
         std::to_string(rng_.uniform_int(100000, 999999)));
   }
-  auto it = cache_.find(final_url.str());
+  auto it = cache_.find(final_url.id());
   if (it != cache_.end()) {
     deliver(it->second, hint, std::move(on_result));
     return;
@@ -64,11 +64,11 @@ void ParcelClientFetcher::fetch(
 void ParcelClientFetcher::on_bundle_parts(
     const std::vector<web::MhtmlPart>& parts) {
   for (const auto& part : parts) {
-    cache_.emplace(part.location.str(), part);
+    cache_.emplace(part.location.id(), part);
   }
   // Release any parked request the new parts satisfy.
   for (std::size_t i = 0; i < parked_.size();) {
-    auto hit = cache_.find(parked_[i].url.str());
+    auto hit = cache_.find(parked_[i].url.id());
     if (hit == cache_.end()) {
       ++i;
       continue;

@@ -79,7 +79,9 @@ class ParcelClientFetcher final : public browser::Fetcher {
   Duration local_lookup_delay_;
   FallbackFn fallback_;
 
-  std::unordered_map<std::string, web::MhtmlPart> cache_;
+  /// Bundle cache keyed by interned URL identity (exact-URL match, as
+  /// before — only the key representation changed).
+  std::unordered_map<net::UrlId, web::MhtmlPart, net::UrlIdHash> cache_;
   std::vector<Parked> parked_;
   bool suppression_ = true;
   bool complete_noted_ = false;

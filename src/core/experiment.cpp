@@ -78,7 +78,9 @@ void finalize_common(RunResult& result, Testbed& testbed,
                      const RunConfig& config) {
   testbed.client_trace().truncate_after(
       util::TimePoint::origin() + config.capture_window);
-  result.trace = testbed.client_trace();
+  // The testbed is torn down right after finalize; steal its trace
+  // instead of copying a packet-per-event vector.
+  result.trace = std::move(testbed.client_trace());
   lte::EnergyAnalyzer analyzer(config.testbed.radio.rrc);
   result.radio = analyzer.analyze(result.trace, /*include_decay_tail=*/true);
   result.downlink_bytes = result.trace.downlink_bytes();

@@ -83,9 +83,8 @@ void ParcelProxy::load_page(const net::Url& url) {
   begin_load(url, &retired_engines_.back()->cache());
 }
 
-void ParcelProxy::begin_load(
-    const net::Url& url,
-    const std::unordered_map<std::string, browser::FetchResult>* warm) {
+void ParcelProxy::begin_load(const net::Url& url,
+                             const browser::FetchCache* warm) {
   scheduler_ = std::make_unique<BundleScheduler>(
       config_.bundle, [this](web::MhtmlWriter bundle) {
         push_(std::move(bundle));
@@ -113,7 +112,7 @@ void ParcelProxy::on_intercept(const browser::FetchResult& result) {
   // Cache mirror (§4.5): the personalized proxy tracks what it already
   // sent this client; re-identified objects on later pages of the
   // session are not re-transmitted.
-  if (!pushed_.insert(result.url.str()).second) {
+  if (!pushed_.insert(result.url.id()).second) {
     ++mirror_skips_;
     if (onload_seen_ && !completion_declared_) arm_completion_timer();
     return;

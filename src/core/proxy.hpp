@@ -96,10 +96,8 @@ class ParcelProxy {
 
  private:
   void arm_completion_timer();
-  void begin_load(
-      const net::Url& url,
-      const std::unordered_map<std::string, browser::FetchResult>* warm =
-          nullptr);
+  void begin_load(const net::Url& url,
+                  const browser::FetchCache* warm = nullptr);
   void on_intercept(const browser::FetchResult& result);
 
   net::Network& network_;
@@ -118,9 +116,9 @@ class ParcelProxy {
   std::size_t fallback_serves_ = 0;
   std::size_t mirror_skips_ = 0;
   /// URLs already delivered to the client this session (the cache
-  /// mirror); also holds engines of earlier pages whose scheduled events
-  /// may still be draining.
-  std::unordered_set<std::string> pushed_;
+  /// mirror, interned ids); also holds engines of earlier pages whose
+  /// scheduled events may still be draining.
+  std::unordered_set<net::UrlId, net::UrlIdHash> pushed_;
   std::vector<std::unique_ptr<browser::BrowserEngine>> retired_engines_;
   std::vector<std::unique_ptr<browser::NetworkFetcher>> retired_fetchers_;
   std::vector<std::unique_ptr<InterceptingFetcher>> retired_intercepting_;

@@ -14,7 +14,7 @@ constexpr Bytes kResponseHeaderBytes = 320;
 }  // namespace
 
 Bytes HttpRequest::wire_size() const {
-  return kRequestBaseBytes + static_cast<Bytes>(url.str().size()) +
+  return kRequestBaseBytes + static_cast<Bytes>(url.str_size()) +
          static_cast<Bytes>(user_agent.size()) +
          static_cast<Bytes>(screen_info.size()) + body_bytes;
 }

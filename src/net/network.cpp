@@ -19,27 +19,27 @@ DuplexLink& Network::adopt_link(std::unique_ptr<DuplexLink> link) {
 
 void Network::register_endpoint(const std::string& domain,
                                 HttpEndpoint& endpoint) {
-  endpoints_[domain] = &endpoint;
+  endpoints_[key_of(domain)] = &endpoint;
 }
 
 HttpEndpoint* Network::endpoint(const std::string& domain) const {
-  auto it = endpoints_.find(domain);
+  auto it = endpoints_.find(key_of(domain));
   return it == endpoints_.end() ? nullptr : it->second;
 }
 
 void Network::set_route(const std::string& vantage, const std::string& domain,
                         Path path) {
-  routes_[vantage][domain] = std::move(path);
+  routes_[key_of(vantage)][key_of(domain)] = std::move(path);
 }
 
 Path Network::route(const std::string& vantage,
                     const std::string& domain) const {
-  auto v = routes_.find(vantage);
+  auto v = routes_.find(key_of(vantage));
   if (v != routes_.end()) {
-    auto d = v->second.find(domain);
+    auto d = v->second.find(key_of(domain));
     if (d != v->second.end()) return d->second;
     // Fall back to a wildcard route for the vantage if present.
-    auto wild = v->second.find("*");
+    auto wild = v->second.find(key_of("*"));
     if (wild != v->second.end()) return wild->second;
   }
   throw std::runtime_error("Network::route: no route from " + vantage +
@@ -48,9 +48,9 @@ Path Network::route(const std::string& vantage,
 
 bool Network::has_route(const std::string& vantage,
                         const std::string& domain) const {
-  auto v = routes_.find(vantage);
+  auto v = routes_.find(key_of(vantage));
   if (v == routes_.end()) return false;
-  return v->second.contains(domain) || v->second.contains("*");
+  return v->second.contains(key_of(domain)) || v->second.contains(key_of("*"));
 }
 
 }  // namespace parcel::net

@@ -5,14 +5,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/http.hpp"
 #include "net/link.hpp"
 #include "net/path.hpp"
+#include "net/url.hpp"
 #include "sim/scheduler.hpp"
 
 namespace parcel::net {
@@ -47,10 +48,19 @@ class Network {
   [[nodiscard]] std::uint32_t next_conn_id() { return ++conn_id_; }
 
  private:
+  /// Domain/vantage names are interned (FNV-1a, see net::intern_key) so
+  /// per-request routing is a hash probe, not a string-tree walk.
+  using NameKey = UrlId;
+  static NameKey key_of(const std::string& name) {
+    return NameKey{intern_key(name)};
+  }
+
   sim::Scheduler& sched_;
   std::vector<std::unique_ptr<DuplexLink>> links_;
-  std::map<std::string, HttpEndpoint*> endpoints_;
-  std::map<std::string, std::map<std::string, Path>> routes_;
+  std::unordered_map<NameKey, HttpEndpoint*, UrlIdHash> endpoints_;
+  std::unordered_map<NameKey, std::unordered_map<NameKey, Path, UrlIdHash>,
+                     UrlIdHash>
+      routes_;
   std::uint32_t conn_id_ = 0;
 };
 

@@ -34,7 +34,42 @@ std::string normalize_path(std::string_view path) {
   return out;
 }
 
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Component separator: a byte that cannot occur inside a component, so
+/// ("ab","c") and ("a","bc") intern differently.
+std::uint64_t fnv1a_sep(std::uint64_t h) {
+  h ^= 0xffU;
+  h *= kFnvPrime;
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t intern_key(std::string_view text) {
+  return fnv1a(kFnvOffset, text);
+}
+
+Url::Url() { refresh_ids(); }
+
+void Url::refresh_ids() {
+  std::uint64_t h = fnv1a(kFnvOffset, scheme_);
+  h = fnv1a(fnv1a_sep(h), host_);
+  std::uint64_t host_path = fnv1a(fnv1a_sep(h), path_);
+  id_.v = fnv1a(fnv1a_sep(host_path), query_);
+  // without_query() is host + path: intern exactly that text so lookups
+  // built from either side agree.
+  norm_id_.v = fnv1a(fnv1a(kFnvOffset, host_), path_);
+}
 
 Url Url::parse(std::string_view text) {
   Url u;
@@ -61,6 +96,7 @@ Url Url::parse(std::string_view text) {
     u.query_ = std::string(rest.substr(query_start + 1));
   }
   if (u.path_.empty()) u.path_ = "/";
+  u.refresh_ids();
   return u;
 }
 
@@ -73,6 +109,7 @@ Url Url::resolve(std::string_view ref) const {
     auto q = ref.find('?');
     u.path_ = std::string(ref.substr(0, q));
     if (q != std::string_view::npos) u.query_ = std::string(ref.substr(q + 1));
+    u.refresh_ids();
     return u;
   }
   // Relative path: resolve against the base directory, collapsing any
@@ -82,6 +119,7 @@ Url Url::resolve(std::string_view ref) const {
   auto q = ref.find('?');
   u.path_ = normalize_path(dir + std::string(ref.substr(0, q)));
   if (q != std::string_view::npos) u.query_ = std::string(ref.substr(q + 1));
+  u.refresh_ids();
   return u;
 }
 

@@ -3,14 +3,39 @@
 // proxy for encrypted pages, §4.5), and normalize replay variability.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 namespace parcel::net {
 
+/// Interned key for a URL or domain: 64-bit FNV-1a over the canonical
+/// text. A pure function of the bytes — parallel workers agree on every
+/// key with zero coordination, and ids are identical across runs, jobs
+/// counts and processes (the determinism bar). Hash maps keyed by UrlId
+/// replace the request-path std::map<std::string,...> lookups; a
+/// cross-URL collision is possible in principle (~2^-64 per pair), so
+/// consumers that store the full object verify on hit.
+struct UrlId {
+  std::uint64_t v = 0;
+  bool operator==(const UrlId&) const = default;
+};
+
+/// UrlId is already a mixed 64-bit hash; use it directly as the bucket
+/// index.
+struct UrlIdHash {
+  std::size_t operator()(UrlId id) const {
+    return static_cast<std::size_t>(id.v);
+  }
+};
+
+/// FNV-1a of `text` — the interning primitive behind UrlId, also used
+/// directly for domain-keyed routing tables.
+[[nodiscard]] std::uint64_t intern_key(std::string_view text);
+
 class Url {
  public:
-  Url() = default;
+  Url();
 
   /// Parse "scheme://host/path?query". Scheme defaults to http, path to /.
   /// Throws std::invalid_argument on an empty host.
@@ -29,17 +54,39 @@ class Url {
 
   [[nodiscard]] std::string str() const;
 
+  /// Length of str() without building it — wire-size accounting runs per
+  /// request and only needs the byte count.
+  [[nodiscard]] std::size_t str_size() const {
+    return scheme_.size() + 3 + host_.size() + path_.size() +
+           (query_.empty() ? 0 : 1 + query_.size());
+  }
+
   /// Host + path, no query: the replay store keys on this after
   /// normalization strips cache-busting query params.
   [[nodiscard]] std::string without_query() const;
 
+  /// Interned identity of the full URL (scheme/host/path/query),
+  /// precomputed at construction — request paths key hash maps on this
+  /// instead of building str() strings.
+  [[nodiscard]] UrlId id() const { return id_; }
+
+  /// Interned identity of without_query() (host + path), the key servers
+  /// use to resolve cache-busted URLs to the canonical object.
+  [[nodiscard]] UrlId normalized_id() const { return norm_id_; }
+
   bool operator==(const Url& o) const = default;
 
  private:
+  /// Recompute the interned ids; every mutation path (parse/resolve)
+  /// calls this before handing the Url out.
+  void refresh_ids();
+
   std::string scheme_ = "http";
   std::string host_;
   std::string path_ = "/";
   std::string query_;
+  UrlId id_;
+  UrlId norm_id_;
 };
 
 }  // namespace parcel::net
@@ -47,6 +94,6 @@ class Url {
 template <>
 struct std::hash<parcel::net::Url> {
   std::size_t operator()(const parcel::net::Url& u) const {
-    return std::hash<std::string>{}(u.str());
+    return static_cast<std::size_t>(u.id().v);
   }
 };

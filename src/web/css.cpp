@@ -18,16 +18,29 @@ std::string_view unquote(std::string_view s) {
 }  // namespace
 
 std::vector<Reference> MiniCss::scan(std::string_view css_raw) {
-  // Blank out comments first so url(...) inside them is never matched.
-  std::string cleaned(css_raw);
-  std::size_t c = 0;
-  while ((c = cleaned.find("/*", c)) != std::string::npos) {
-    std::size_t end = cleaned.find("*/", c + 2);
-    std::size_t stop = end == std::string::npos ? cleaned.size() : end + 2;
-    for (std::size_t i = c; i < stop; ++i) cleaned[i] = ' ';
-    c = stop;
+  // Comments are treated as whitespace so url(...) inside them is never
+  // matched. Most corpus stylesheets carry none, so the raw text is
+  // scanned directly — zero copies. Otherwise a same-length blanked copy
+  // drives the matching, and every extracted target is mapped back to its
+  // byte range in `css_raw`: the returned views always alias the caller's
+  // string, never scanner-local storage.
+  std::string cleaned;
+  std::string_view css = css_raw;
+  if (css_raw.find("/*") != std::string_view::npos) {
+    cleaned.assign(css_raw);
+    std::size_t c = 0;
+    while ((c = cleaned.find("/*", c)) != std::string::npos) {
+      std::size_t end = cleaned.find("*/", c + 2);
+      std::size_t stop = end == std::string::npos ? cleaned.size() : end + 2;
+      for (std::size_t i = c; i < stop; ++i) cleaned[i] = ' ';
+      c = stop;
+    }
+    css = cleaned;
   }
-  std::string_view css(cleaned);
+  auto original = [&](std::string_view target) {
+    return css_raw.substr(
+        static_cast<std::size_t>(target.data() - css.data()), target.size());
+  };
 
   std::vector<Reference> refs;
   std::size_t pos = 0;
@@ -50,7 +63,7 @@ std::vector<Reference> MiniCss::scan(std::string_view css_raw) {
         target = unquote(clause);
       }
       if (!target.empty()) {
-        refs.push_back(Reference{std::string(target), ObjectType::kCss,
+        refs.push_back(Reference{original(target), ObjectType::kCss,
                                  false, false});
       }
       pos = semi + 1;
@@ -61,7 +74,7 @@ std::vector<Reference> MiniCss::scan(std::string_view css_raw) {
     if (close == std::string_view::npos) break;
     std::string_view target = unquote(css.substr(url + 4, close - url - 4));
     if (!target.empty()) {
-      refs.push_back(Reference{std::string(target),
+      refs.push_back(Reference{original(target),
                                infer_type(target, ObjectType::kImage), false,
                                false});
     }

@@ -10,6 +10,9 @@ namespace parcel::web {
 
 class MiniCss {
  public:
+  /// Scan stylesheet text. Returned references borrow from `css`; the
+  /// caller (or the parse cache) must keep the stylesheet string alive
+  /// while the references are in use.
   static std::vector<Reference> scan(std::string_view css);
 };
 

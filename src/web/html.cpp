@@ -86,14 +86,13 @@ std::vector<HtmlToken> MiniHtml::scan(std::string_view html) {
       if (!src.empty()) {
         HtmlToken t;
         t.kind = HtmlToken::Kind::kReference;
-        t.ref = Reference{std::string(src),
-                          async ? ObjectType::kJsAsync : ObjectType::kJs,
+        t.ref = Reference{src, async ? ObjectType::kJsAsync : ObjectType::kJs,
                           async, false};
         tokens.push_back(std::move(t));
       } else if (!util::trim(body).empty()) {
         HtmlToken t;
         t.kind = HtmlToken::Kind::kInlineScript;
-        t.script = std::string(body);
+        t.script = body;
         tokens.push_back(std::move(t));
       }
       continue;
@@ -103,7 +102,7 @@ std::vector<HtmlToken> MiniHtml::scan(std::string_view html) {
       std::string_view href = attribute(tag, "href");
       if (util::iequals(rel, "stylesheet") && !href.empty()) {
         HtmlToken t;
-        t.ref = Reference{std::string(href), ObjectType::kCss, false, false};
+        t.ref = Reference{href, ObjectType::kCss, false, false};
         tokens.push_back(std::move(t));
       }
       continue;
@@ -112,8 +111,8 @@ std::vector<HtmlToken> MiniHtml::scan(std::string_view html) {
       std::string_view src = attribute(tag, "src");
       if (!src.empty()) {
         HtmlToken t;
-        t.ref = Reference{std::string(src),
-                          infer_type(src, ObjectType::kImage), false, false};
+        t.ref = Reference{src, infer_type(src, ObjectType::kImage), false,
+                          false};
         tokens.push_back(std::move(t));
       }
       continue;
@@ -123,8 +122,8 @@ std::vector<HtmlToken> MiniHtml::scan(std::string_view html) {
       std::string_view src = attribute(tag, "src");
       if (!src.empty()) {
         HtmlToken t;
-        t.ref = Reference{std::string(src),
-                          infer_type(src, ObjectType::kMedia), false, false};
+        t.ref = Reference{src, infer_type(src, ObjectType::kMedia), false,
+                          false};
         tokens.push_back(std::move(t));
       }
       continue;

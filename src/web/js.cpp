@@ -53,8 +53,8 @@ JsProgram MiniJs::run(std::string_view code) {
     if (line.starts_with("fetch(")) {
       std::string_view url = first_quoted(line);
       if (url.empty()) throw std::invalid_argument("MiniJs: fetch needs url");
-      prog.references.push_back(Reference{
-          std::string(url), infer_type(url, ObjectType::kJson), false, false});
+      prog.references.push_back(
+          Reference{url, infer_type(url, ObjectType::kJson), false, false});
       continue;
     }
     if (line.starts_with("fetchRand(")) {
@@ -62,8 +62,8 @@ JsProgram MiniJs::run(std::string_view code) {
       if (url.empty()) {
         throw std::invalid_argument("MiniJs: fetchRand needs url");
       }
-      prog.references.push_back(Reference{
-          std::string(url), infer_type(url, ObjectType::kJson), false, true});
+      prog.references.push_back(
+          Reference{url, infer_type(url, ObjectType::kJson), false, true});
       continue;
     }
     if (line.starts_with("loadScript(")) {
@@ -72,7 +72,7 @@ JsProgram MiniJs::run(std::string_view code) {
         throw std::invalid_argument("MiniJs: loadScript needs url");
       }
       prog.references.push_back(
-          Reference{std::string(url), ObjectType::kJs, false, false});
+          Reference{url, ObjectType::kJs, false, false});
       continue;
     }
     if (line.starts_with("loadScriptAsync(")) {
@@ -81,7 +81,7 @@ JsProgram MiniJs::run(std::string_view code) {
         throw std::invalid_argument("MiniJs: loadScriptAsync needs url");
       }
       prog.references.push_back(
-          Reference{std::string(url), ObjectType::kJsAsync, true, false});
+          Reference{url, ObjectType::kJsAsync, true, false});
       continue;
     }
     if (line.starts_with("document.write(")) {
@@ -93,8 +93,7 @@ JsProgram MiniJs::run(std::string_view code) {
         std::string_view url = first_quoted(rest);
         if (!url.empty()) {
           prog.references.push_back(Reference{
-              std::string(url), infer_type(url, ObjectType::kImage), false,
-              false});
+              url, infer_type(url, ObjectType::kImage), false, false});
         }
       }
       continue;
@@ -107,7 +106,7 @@ JsProgram MiniJs::run(std::string_view code) {
       int idx = static_cast<int>(parse_number(line.substr(8, comma - 8), line));
       std::string_view url = first_quoted(line.substr(comma));
       if (url.empty()) throw std::invalid_argument("MiniJs: onClick needs url");
-      prog.click_handlers.push_back(JsClickHandler{idx, std::string(url)});
+      prog.click_handlers.push_back(JsClickHandler{idx, url});
       // Handlers register cheaply; running one on a click costs more —
       // browsers charge that at interaction time.
       continue;

@@ -29,9 +29,12 @@ namespace parcel::web {
 
 struct JsClickHandler {
   int click_index = 0;
-  std::string target;  // object displayed on that click
+  /// Object displayed on that click; borrowed from the script text.
+  std::string_view target;
 };
 
+/// References and handlers borrow from the scanned script body — valid
+/// while the script's content string lives (the parse cache pins it).
 struct JsProgram {
   double work_units = 0.0;
   std::vector<Reference> references;

@@ -10,16 +10,20 @@ OriginServer::OriginServer(sim::Scheduler& sched, std::string domain)
 void OriginServer::host(const WebPage& page) {
   for (const WebObject* obj : page.objects()) {
     if (obj->url.host() != domain_) continue;
-    by_url_[obj->url.str()] = obj;
-    by_normalized_[obj->url.without_query()] = obj;
+    by_url_[obj->url.id()] = obj;
+    by_normalized_[obj->url.normalized_id()] = obj;
   }
 }
 
 const WebObject* OriginServer::lookup(const net::Url& url) const {
-  auto it = by_url_.find(url.str());
-  if (it != by_url_.end()) return it->second;
-  auto norm = by_normalized_.find(url.without_query());
-  if (norm != by_normalized_.end()) return norm->second;
+  auto it = by_url_.find(url.id());
+  if (it != by_url_.end() && it->second->url == url) return it->second;
+  // Cache-busted URL: resolve via host+path identity; verify components.
+  auto norm = by_normalized_.find(url.normalized_id());
+  if (norm != by_normalized_.end() && norm->second->url.host() == url.host() &&
+      norm->second->url.path() == url.path()) {
+    return norm->second;
+  }
   return nullptr;
 }
 

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "net/http.hpp"
 #include "sim/scheduler.hpp"
@@ -48,8 +48,13 @@ class OriginServer final : public net::HttpEndpoint {
 
   sim::Scheduler& sched_;
   std::string domain_;
-  std::map<std::string, const WebObject*> by_url_;
-  std::map<std::string, const WebObject*> by_normalized_;
+  /// Keyed by interned URL identity — no per-request str()/without_query()
+  /// string building. Hits are verified against the stored object's URL
+  /// components, so a (astronomically unlikely) 64-bit collision degrades
+  /// to a 404 rather than serving the wrong object.
+  std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash> by_url_;
+  std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash>
+      by_normalized_;
   PostHandler post_handler_;
   double think_scale_ = 1.0;
   std::size_t served_ = 0;

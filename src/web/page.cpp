@@ -9,17 +9,36 @@ void WebPage::add(WebObject object) {
   if (objects_.contains(key)) {
     throw std::invalid_argument("WebPage::add: duplicate object " + key);
   }
-  by_normalized_.emplace(object.url.without_query(), key);
-  objects_.emplace(std::move(key), std::move(object));
+  auto [it, _] = objects_.emplace(std::move(key), std::move(object));
+  const WebObject& stored = it->second;
+  by_id_[stored.url.id()] = &stored;
+  // For query-variant siblings sharing host+path, the lexicographically
+  // smallest full URL owns the normalized key — the same winner
+  // rebuild_index() picks when walking the sorted map, so copies always
+  // agree with their originals.
+  auto [nit, inserted] = by_norm_id_.emplace(stored.url.normalized_id(),
+                                             &stored);
+  if (!inserted && it->first < nit->second->url.str()) {
+    nit->second = &stored;
+  }
+}
+
+void WebPage::rebuild_index() {
+  by_id_.clear();
+  by_norm_id_.clear();
+  for (const auto& [_, obj] : objects_) {
+    by_id_[obj.url.id()] = &obj;
+    by_norm_id_.emplace(obj.url.normalized_id(), &obj);
+  }
 }
 
 const WebObject* WebPage::find(const net::Url& url) const {
-  auto it = objects_.find(url.str());
-  if (it != objects_.end()) return &it->second;
-  auto norm = by_normalized_.find(url.without_query());
-  if (norm != by_normalized_.end()) {
-    auto hit = objects_.find(norm->second);
-    if (hit != objects_.end()) return &hit->second;
+  auto it = by_id_.find(url.id());
+  if (it != by_id_.end() && it->second->url == url) return it->second;
+  auto norm = by_norm_id_.find(url.normalized_id());
+  if (norm != by_norm_id_.end() && norm->second->url.host() == url.host() &&
+      norm->second->url.path() == url.path()) {
+    return norm->second;
   }
   return nullptr;
 }

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/url.hpp"
@@ -16,6 +17,22 @@ namespace parcel::web {
 class WebPage {
  public:
   explicit WebPage(net::Url main_url) : main_url_(std::move(main_url)) {}
+
+  // The lookup indices point into objects_ nodes: moves transfer the
+  // nodes (pointers stay valid), copies must re-index.
+  WebPage(WebPage&&) noexcept = default;
+  WebPage& operator=(WebPage&&) noexcept = default;
+  WebPage(const WebPage& o) : main_url_(o.main_url_), objects_(o.objects_) {
+    rebuild_index();
+  }
+  WebPage& operator=(const WebPage& o) {
+    if (this != &o) {
+      main_url_ = o.main_url_;
+      objects_ = o.objects_;
+      rebuild_index();
+    }
+    return *this;
+  }
 
   /// Add an object; throws std::invalid_argument on duplicate URL.
   void add(WebObject object);
@@ -44,10 +61,18 @@ class WebPage {
   [[nodiscard]] std::vector<WebObject*> mutable_objects();
 
  private:
+  void rebuild_index();
+
   net::Url main_url_;
-  // Keyed by full URL string; iteration order deterministic.
+  // Keyed by full URL string; iteration order deterministic (objects(),
+  // totals and domain listings all walk this map in sorted order).
   std::map<std::string, WebObject> objects_;
-  std::map<std::string, std::string> by_normalized_;
+  // Request-path lookup indices keyed by interned URL identity; node
+  // pointers into objects_ are stable. Hits are verified against the
+  // stored URL so a 64-bit collision degrades to a miss.
+  std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash> by_id_;
+  std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash>
+      by_norm_id_;
 };
 
 }  // namespace parcel::web

@@ -1,7 +1,6 @@
 // A discovered dependency: "this document mentions that URL".
 #pragma once
 
-#include <string>
 #include <string_view>
 
 #include "web/object.hpp"
@@ -9,7 +8,11 @@
 namespace parcel::web {
 
 struct Reference {
-  std::string target;  // as written: absolute URL or path
+  /// As written in the document: absolute URL or path. Borrowed from the
+  /// scanned text — valid only while the document's content string lives.
+  /// Scan artifacts that outlive the scan (the parse cache, a ParseJob)
+  /// must pin the backing string alongside the references.
+  std::string_view target;
   ObjectType expected_type = ObjectType::kImage;
   /// Async script: fetched without blocking the parser (<script async>).
   bool async = false;

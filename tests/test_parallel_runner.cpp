@@ -8,6 +8,7 @@
 #include "core/parallel_runner.hpp"
 #include "replay/replay_store.hpp"
 #include "web/generator.hpp"
+#include "web/parse_cache.hpp"
 
 namespace parcel::core {
 namespace {
@@ -109,6 +110,37 @@ TEST(RunExperiments, ParallelMatchesSerialForEveryScheme) {
     SCOPED_TRACE(to_string(tasks[i].scheme));
     expect_identical(serial[i], parallel[i]);
   }
+}
+
+TEST(RunExperiments, ParseCacheOnOffBitwiseIdentical) {
+  std::vector<ExperimentTask> tasks;
+  std::uint64_t seed = 11;
+  for (Scheme s : all_schemes()) {
+    RunConfig cfg;
+    cfg.seed = seed++;
+    tasks.push_back(ExperimentTask{s, &test_page(), cfg});
+  }
+
+  web::ParseCache::instance().clear();
+  web::ParseCache::set_enabled(false);
+  std::vector<RunResult> uncached = run_experiments(tasks, 2);
+
+  web::ParseCache::set_enabled(true);
+  web::ParseCache::instance().reset_stats();
+  std::vector<RunResult> cached1 = run_experiments(tasks, 1);
+  std::vector<RunResult> cached4 = run_experiments(tasks, 4);
+
+  // Scanners are pure functions of content bytes, so memoization must be
+  // invisible in the results — for every scheme, for any jobs count.
+  ASSERT_EQ(uncached.size(), cached1.size());
+  for (std::size_t i = 0; i < uncached.size(); ++i) {
+    SCOPED_TRACE(to_string(tasks[i].scheme));
+    expect_identical(uncached[i], cached1[i]);
+    expect_identical(uncached[i], cached4[i]);
+  }
+  // And the cache did actually serve the repeated scans.
+  EXPECT_GT(web::ParseCache::instance().stats().hits(), 0u);
+  web::ParseCache::instance().clear();
 }
 
 TEST(RunRounds, Jobs4BitwiseIdenticalToJobs1) {

@@ -146,6 +146,113 @@ TEST(MiniJs, GenericStatementsCostALittle) {
   EXPECT_NEAR(prog.work_units, 0.02, 1e-9);
 }
 
+// ---- Edge-case pins. These nail down today's scanner behavior so the
+// zero-copy rewrite is checkably behavior-preserving. ----
+
+TEST(MiniHtml, UnterminatedInlineScriptYieldsNothing) {
+  // No </script>: the body runs to EOF and is treated as absent.
+  auto tokens = MiniHtml::scan("<p>x</p><script>var x = 1;");
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(MiniHtml, UnterminatedSrcScriptStillEmitsReference) {
+  // The src reference comes from the open tag; the missing close tag only
+  // swallows the rest of the document.
+  auto tokens = MiniHtml::scan(
+      "<script src=\"/a.js\">compute(1);<img src=\"/late.jpg\">");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].ref.target, "/a.js");
+  EXPECT_EQ(tokens[0].ref.expected_type, ObjectType::kJs);
+}
+
+TEST(MiniHtml, UppercaseTagsAndAttributes) {
+  auto tokens = MiniHtml::scan(
+      "<LINK REL=\"STYLESHEET\" HREF=\"/A.CSS\">"
+      "<SCRIPT SRC=\"/A.JS\"></SCRIPT>"
+      "<IMG SRC=\"/A.JPG\">");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].ref.expected_type, ObjectType::kCss);
+  EXPECT_EQ(tokens[0].ref.target, "/A.CSS");
+  EXPECT_EQ(tokens[1].ref.expected_type, ObjectType::kJs);
+  EXPECT_EQ(tokens[1].ref.target, "/A.JS");
+  EXPECT_EQ(tokens[2].ref.target, "/A.JPG");
+}
+
+TEST(MiniHtml, UppercaseCloseTagEndsInlineScript) {
+  auto tokens = MiniHtml::scan("<script>compute(2);</SCRIPT><img src=/x.jpg>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, HtmlToken::Kind::kInlineScript);
+  EXPECT_EQ(tokens[1].ref.target, "/x.jpg");
+}
+
+TEST(MiniHtml, UnquotedAndValuelessAttributes) {
+  auto tokens = MiniHtml::scan(
+      "<script src=/sync.js defer></script>"
+      "<script async src=/lazy.js></script>"
+      "<img src=/pic.png>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].ref.target, "/sync.js");
+  EXPECT_TRUE(tokens[0].ref.async);  // valueless defer counts as async
+  EXPECT_EQ(tokens[0].ref.expected_type, ObjectType::kJsAsync);
+  EXPECT_TRUE(tokens[1].ref.async);
+  EXPECT_EQ(tokens[2].ref.target, "/pic.png");
+}
+
+TEST(MiniHtml, PrefixedAttributeNamesDoNotMatch) {
+  // data-src= must not satisfy a src= lookup (left boundary check).
+  EXPECT_EQ(MiniHtml::attribute("<img data-src=\"/lazy.png\">", "src"), "");
+  auto tokens = MiniHtml::scan("<img data-src=\"/lazy.png\">");
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(MiniHtml, CommentWrappingScriptAndLink) {
+  auto tokens = MiniHtml::scan(
+      "<!-- <script src=\"/dead.js\"></script>\n"
+      "     <link rel=\"stylesheet\" href=\"/dead.css\"> -->"
+      "<script src=\"/live.js\"></script>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].ref.target, "/live.js");
+}
+
+TEST(MiniHtml, UnterminatedCommentSwallowsRest) {
+  auto tokens = MiniHtml::scan("<img src=/a.jpg><!-- <img src=/b.jpg>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].ref.target, "/a.jpg");
+}
+
+TEST(MiniCss, UppercaseTokensMatch) {
+  auto refs = MiniCss::scan("@IMPORT URL(\"A.CSS\");\n.x { background: URL(/B.PNG); }");
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].target, "A.CSS");
+  EXPECT_EQ(refs[0].expected_type, ObjectType::kCss);
+  EXPECT_EQ(refs[1].target, "/B.PNG");
+}
+
+TEST(MiniCss, UnterminatedCommentBlanksToEnd) {
+  EXPECT_TRUE(MiniCss::scan("/* url(x.png) body { background: url(y.png); }")
+                  .empty());
+}
+
+TEST(MiniCss, UnterminatedConstructsYieldNothingFurther) {
+  // @import without its semicolon ends the scan; url( without a close
+  // paren likewise.
+  EXPECT_TRUE(MiniCss::scan("@import \"a.css\"").empty());
+  EXPECT_TRUE(MiniCss::scan("body { background: url(/a.png }").empty());
+  auto refs = MiniCss::scan(".a{background:url(/ok.png)} @import \"late.css\"");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].target, "/ok.png");
+}
+
+TEST(MiniCss, CommentBetweenDeclarationsWrapsReference) {
+  auto refs = MiniCss::scan(
+      ".a { background: url(/keep.png); }\n"
+      "/* .b { background: url(/drop.png); } */\n"
+      ".c { background: url(/also.png); }");
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].target, "/keep.png");
+  EXPECT_EQ(refs[1].target, "/also.png");
+}
+
 TEST(MiniJs, MalformedStatementsThrow) {
   EXPECT_THROW(MiniJs::run("fetch();"), std::invalid_argument);
   EXPECT_THROW(MiniJs::run("compute(abc);"), std::invalid_argument);
