@@ -1,0 +1,144 @@
+// Fault-recovery tracking bench.
+//
+// Runs a PARCEL(IND) + DIR grid under a canonical fault plan (loss +
+// blackout + mid-load proxy crash) and asserts the robustness contract:
+// every run completes inside the capture window, the crash actually
+// triggers the degradation ladder (direct-to-origin fetches > 0), and
+// the faulted grid is bitwise identical across jobs=1 and jobs=4.
+// Results go to stdout and BENCH_faults.json so recovery latency and
+// retransmission cost are machine-trackable across PRs.
+//
+// --faults SPEC substitutes the canonical plan; PARCEL_FAULT_SEED
+// reseeds it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace parcel;
+
+// Mid-load crash: late enough that the proxy has started pushing,
+// early enough that most corpus pages are still incomplete.
+const char* kCanonicalPlan = "loss=0.02,blackout=3+0.8,crash=1.2,seed=7";
+
+bool results_identical(const std::vector<core::RunResult>& a,
+                       const std::vector<core::RunResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ok != b[i].ok || a[i].olt.sec() != b[i].olt.sec() ||
+        a[i].tlt.sec() != b[i].tlt.sec() ||
+        a[i].radio.total.j() != b[i].radio.total.j() ||
+        a[i].downlink_bytes != b[i].downlink_bytes ||
+        a[i].uplink_bytes != b[i].uplink_bytes ||
+        a[i].retransmits != b[i].retransmits ||
+        a[i].fault_drops != b[i].fault_drops ||
+        a[i].fault_deferrals != b[i].fault_deferrals ||
+        a[i].direct_fetches != b[i].direct_fetches ||
+        a[i].degraded != b[i].degraded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Fault recovery",
+                      "loss + blackout + proxy crash; completion, fallback, "
+                      "determinism");
+
+  sim::FaultPlan plan = opts.faults.enabled()
+                            ? opts.faults
+                            : sim::FaultPlan::parse(kCanonicalPlan);
+  const std::string spec = plan.str();
+  std::printf("fault plan: %s\n", spec.c_str());
+
+  const int pages = opts.quick ? 4 : std::min(opts.pages, 8);
+  bench::Corpus corpus = bench::build_corpus(pages);
+
+  std::vector<core::ExperimentTask> tasks;
+  const std::vector<core::Scheme> schemes{core::Scheme::kParcelInd,
+                                          core::Scheme::kDir};
+  for (std::size_t p = 0; p < corpus.replayed.size(); ++p) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      core::RunConfig cfg = bench::replay_run_config(1 + 101ULL * p + 7ULL * s);
+      cfg.testbed.faults = plan;
+      tasks.push_back(core::ExperimentTask{schemes[s], corpus.replayed[p],
+                                           cfg});
+    }
+  }
+
+  std::vector<core::RunResult> serial = core::run_experiments(tasks, 1);
+  std::vector<core::RunResult> fanned = core::run_experiments(tasks, 4);
+  const bool identical = results_identical(serial, fanned);
+
+  bool all_completed = true;
+  std::size_t degraded_runs = 0, direct_fetches = 0;
+  std::uint64_t retransmits = 0, drops = 0, deferrals = 0;
+  double recovery_sum = 0.0;
+  std::size_t recovery_n = 0;
+  for (const core::RunResult& r : serial) {
+    all_completed = all_completed && r.ok;
+    degraded_runs += r.degraded ? 1 : 0;
+    direct_fetches += r.direct_fetches;
+    retransmits += r.retransmits;
+    drops += r.fault_drops;
+    deferrals += r.fault_deferrals;
+    if (r.recovery > util::Duration::zero()) {
+      recovery_sum += r.recovery.sec();
+      ++recovery_n;
+    }
+  }
+  const double mean_recovery = recovery_n ? recovery_sum / recovery_n : 0.0;
+  const bool crash_planned = plan.proxy_crash_at.has_value();
+  const bool fallback_exercised = !crash_planned || direct_fetches > 0;
+
+  std::printf("runs: %zu (%d pages x %zu schemes)\n", serial.size(), pages,
+              schemes.size());
+  std::printf("all completed:        %s\n", all_completed ? "yes" : "NO");
+  std::printf("degraded runs:        %zu\n", degraded_runs);
+  std::printf("direct fetches:       %zu%s\n", direct_fetches,
+              fallback_exercised ? "" : "  (EXPECTED > 0)");
+  std::printf("tcp retransmits:      %llu\n",
+              static_cast<unsigned long long>(retransmits));
+  std::printf("bursts dropped:       %llu, deferred: %llu\n",
+              static_cast<unsigned long long>(drops),
+              static_cast<unsigned long long>(deferrals));
+  std::printf("mean recovery:        %.3fs over %zu faulted runs\n",
+              mean_recovery, recovery_n);
+  std::printf("jobs=1 == jobs=4:     %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+
+  FILE* json = std::fopen("BENCH_faults.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_faults.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"plan\": \"%s\",\n", spec.c_str());
+  std::fprintf(json, "  \"pages\": %d,\n", pages);
+  std::fprintf(json, "  \"runs\": %zu,\n", serial.size());
+  std::fprintf(json, "  \"all_completed\": %s,\n",
+               all_completed ? "true" : "false");
+  std::fprintf(json, "  \"degraded_runs\": %zu,\n", degraded_runs);
+  std::fprintf(json, "  \"direct_fetches\": %zu,\n", direct_fetches);
+  std::fprintf(json, "  \"retransmits\": %llu,\n",
+               static_cast<unsigned long long>(retransmits));
+  std::fprintf(json, "  \"fault_drops\": %llu,\n",
+               static_cast<unsigned long long>(drops));
+  std::fprintf(json, "  \"fault_deferrals\": %llu,\n",
+               static_cast<unsigned long long>(deferrals));
+  std::fprintf(json, "  \"mean_recovery_sec\": %.4f,\n", mean_recovery);
+  std::fprintf(json, "  \"deterministic_across_jobs\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_faults.json\n");
+
+  return (all_completed && fallback_exercised && identical) ? 0 : 1;
+}

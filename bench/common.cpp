@@ -3,8 +3,18 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace parcel::bench {
+
+namespace {
+
+// Plan captured by parse_options and stamped onto every run config the
+// helpers below build, so a single --faults flag reaches all benches
+// without per-bench plumbing. Set before any experiment fan-out starts.
+sim::FaultPlan g_fault_plan;
+
+}  // namespace
 
 Corpus build_corpus(int pages, std::uint64_t seed) {
   Corpus corpus;
@@ -67,20 +77,44 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.quick = true;
       opts.pages = 10;
       opts.rounds = 1;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      const char* spec = flag_value("--faults", argc, argv, i);
+      try {
+        opts.faults = sim::FaultPlan::parse(spec);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: --faults: %s\n", e.what());
+        std::exit(2);
+      }
     }
   }
+  if (const char* env = std::getenv("PARCEL_FAULT_SEED")) {
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "error: PARCEL_FAULT_SEED expects an unsigned integer, "
+                   "got '%s'\n",
+                   env);
+      std::exit(2);
+    }
+    opts.faults.seed = v;
+  }
+  g_fault_plan = opts.faults;
   return opts;
 }
 
 core::RunConfig replay_run_config(std::uint64_t seed) {
   core::RunConfig cfg;
   cfg.seed = seed;
+  cfg.testbed.faults = g_fault_plan;
   return cfg;
 }
 
 core::RunConfig live_run_config(std::uint64_t seed) {
   core::RunConfig cfg;
   cfg.seed = seed;
+  cfg.testbed.faults = g_fault_plan;
   cfg.testbed.heterogeneous_server_delays = true;
   cfg.testbed.topology_seed = seed * 31 + 7;
   cfg.testbed.fade = lte::FadeProcess::Params{};

@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
 #include "replay/replay_store.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/stats.hpp"
 #include "web/generator.hpp"
 
@@ -35,10 +36,16 @@ struct BenchOptions {
   /// (results are bitwise identical either way).
   int jobs = core::default_jobs();
   bool quick = false;
+  /// Fault plan applied to every run config built after parse_options
+  /// (see replay_run_config / live_run_config). Off by default, so the
+  /// BENCH_*.json baselines stay byte-comparable across builds.
+  sim::FaultPlan faults;
 };
 
-/// Parse --pages N / --rounds N / --jobs N / --quick from argv. Malformed
-/// or non-positive values abort with a clear error on stderr.
+/// Parse --pages N / --rounds N / --jobs N / --quick / --faults SPEC from
+/// argv (see sim::FaultPlan::parse for the spec grammar; "off" disables).
+/// The PARCEL_FAULT_SEED environment variable overrides the plan's seed.
+/// Malformed values abort with a clear error on stderr.
 BenchOptions parse_options(int argc, char** argv);
 
 /// Default controlled-replay run configuration (§7.2: no fading in the

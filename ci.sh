@@ -29,12 +29,21 @@ awk -F': ' '/"hit_rate"/ { rate = $2 + 0.0 }
                   else { print "parse cache hit rate is zero"; exit 1 } }' \
   build-ci/bench/BENCH_parse_cache.json
 
+echo "==> Faulted smoke (fixed seed: must complete and exercise fallback)"
+(cd build-ci/bench && PARCEL_FAULT_SEED=7 ./bench_fault_recovery --quick)
+awk -F': ' '/"all_completed"/ { ok = ($2 ~ /true/) }
+            /"direct_fetches"/ { direct = $2 + 0 }
+            END { if (ok && direct > 0) {
+                    print "faulted smoke OK: completed, direct fetches =", direct
+                  } else { print "faulted smoke FAILED"; exit 1 } }' \
+  build-ci/bench/BENCH_faults.json
+
 echo "==> ThreadSanitizer: parallel runner + parse cache must be race-free"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*'
 
 echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

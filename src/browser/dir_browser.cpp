@@ -24,6 +24,7 @@ NetworkFetcher::NetworkFetcher(net::Network& network,
                                const std::string& vantage, DirConfig config,
                                util::Rng rng)
     : network_(network),
+      config_(config),
       rng_(rng.fork()),
       dns_(network.scheduler(), network.route(vantage, "dns"),
            config.dns_latency, rng.fork(),
@@ -48,15 +49,84 @@ void NetworkFetcher::fetch(const net::Url& url, web::ObjectType hint,
         url.str() + (url.query().empty() ? "?r=" : "&r=") +
         std::to_string(rng_.uniform_int(100000, 999999)));
   }
-  dns_.resolve(final_url.host(), [this, final_url, hint, object_id,
-                                  on_result = std::move(on_result)] {
+  if (config_.object_timeout <= Duration::zero() &&
+      config_.max_fetch_retries <= 0) {
+    // Fair-weather fast path: no guard state, no timers.
+    dns_.resolve(final_url.host(), [this, final_url, hint, object_id,
+                                    on_result = std::move(on_result)] {
+      net::HttpRequest request;
+      request.url = final_url;
+      pool_.fetch(std::move(request), object_id,
+                  [hint, on_result](const net::HttpResponse& response) {
+                    on_result(to_fetch_result(response, hint));
+                  });
+    });
+    return;
+  }
+  auto guard = std::make_shared<FetchGuard>();
+  auto cb = std::make_shared<std::function<void(FetchResult)>>(
+      std::move(on_result));
+  fetch_attempt(final_url, hint, object_id, guard, cb);
+}
+
+void NetworkFetcher::fetch_attempt(
+    const net::Url& url, web::ObjectType hint, std::uint32_t object_id,
+    const std::shared_ptr<FetchGuard>& guard,
+    const std::shared_ptr<std::function<void(FetchResult)>>& on_result) {
+  if (config_.object_timeout > Duration::zero()) {
+    guard->timer = network_.scheduler().schedule_after(
+        config_.object_timeout,
+        [this, url, hint, object_id, guard, on_result] {
+          if (guard->done) return;
+          ++fetch_timeouts_;
+          if (guard->attempt >= config_.max_fetch_retries) {
+            // Out of retries: synthesize a gateway-timeout failure so the
+            // engine marks the object failed and moves on — never hangs.
+            guard->done = true;
+            FetchResult r;
+            r.url = url;
+            r.type = hint;
+            r.status = 504;
+            (*on_result)(r);
+            return;
+          }
+          retry_after_backoff(url, hint, object_id, guard, on_result);
+        });
+  }
+  dns_.resolve(url.host(), [this, url, hint, object_id, guard, on_result] {
     net::HttpRequest request;
-    request.url = final_url;
-    pool_.fetch(std::move(request), object_id,
-                [hint, on_result](const net::HttpResponse& response) {
-                  on_result(to_fetch_result(response, hint));
-                });
+    request.url = url;
+    pool_.fetch(
+        std::move(request), object_id,
+        [this, url, hint, object_id, guard,
+         on_result](const net::HttpResponse& response) {
+          if (guard->done) return;  // late copy after a timeout verdict
+          if (response.status >= 500 &&
+              guard->attempt < config_.max_fetch_retries) {
+            guard->timer.cancel();
+            retry_after_backoff(url, hint, object_id, guard, on_result);
+            return;
+          }
+          guard->done = true;
+          guard->timer.cancel();
+          (*on_result)(to_fetch_result(response, hint));
+        });
   });
+}
+
+void NetworkFetcher::retry_after_backoff(
+    const net::Url& url, web::ObjectType hint, std::uint32_t object_id,
+    const std::shared_ptr<FetchGuard>& guard,
+    const std::shared_ptr<std::function<void(FetchResult)>>& on_result) {
+  ++guard->attempt;
+  ++fetch_retries_;
+  Duration delay = config_.retry_backoff;
+  for (int i = 1; i < guard->attempt; ++i) delay = delay * 2.0;
+  network_.scheduler().schedule_after(
+      delay, [this, url, hint, object_id, guard, on_result] {
+        if (guard->done) return;
+        fetch_attempt(url, hint, object_id, guard, on_result);
+      });
 }
 
 void NetworkFetcher::post(

@@ -25,6 +25,13 @@ struct DirConfig {
   EngineConfig engine;
   /// Mean resolver-side latency per uncached DNS lookup.
   Duration dns_latency = Duration::millis(25);
+
+  /// Per-object fetch hardening. Off by default — zero timers armed, so
+  /// fair-weather runs stay byte-identical. The experiment harness enables
+  /// these only when a fault plan is active.
+  Duration object_timeout = Duration::zero();  // zero = no timeout
+  int max_fetch_retries = 0;
+  Duration retry_backoff = Duration::millis(250);  // doubles per retry
 };
 
 /// Fetcher that resolves DNS then issues pooled HTTP requests from the
@@ -52,12 +59,39 @@ class NetworkFetcher final : public Fetcher {
   [[nodiscard]] std::size_t requests_issued() const {
     return pool_.requests_issued();
   }
+  [[nodiscard]] std::uint64_t fetch_retries() const { return fetch_retries_; }
+  [[nodiscard]] std::uint64_t fetch_timeouts() const {
+    return fetch_timeouts_;
+  }
+  [[nodiscard]] std::uint64_t retransmits() const {
+    return pool_.retransmits();
+  }
 
  private:
+  /// Per-object retry state shared by the timeout timer and the response
+  /// path; the first completion wins, late copies are ignored.
+  struct FetchGuard {
+    bool done = false;
+    int attempt = 0;
+    sim::EventHandle timer;
+  };
+
+  void fetch_attempt(
+      const net::Url& url, web::ObjectType hint, std::uint32_t object_id,
+      const std::shared_ptr<FetchGuard>& guard,
+      const std::shared_ptr<std::function<void(FetchResult)>>& on_result);
+  void retry_after_backoff(
+      const net::Url& url, web::ObjectType hint, std::uint32_t object_id,
+      const std::shared_ptr<FetchGuard>& guard,
+      const std::shared_ptr<std::function<void(FetchResult)>>& on_result);
+
   net::Network& network_;
+  DirConfig config_;
   util::Rng rng_;
   net::DnsClient dns_;
   net::HttpClientPool pool_;
+  std::uint64_t fetch_retries_ = 0;
+  std::uint64_t fetch_timeouts_ = 0;
 };
 
 /// Convert an HTTP response into the engine's FetchResult, preferring the

@@ -36,7 +36,7 @@ void ParcelClientFetcher::deliver(
 
 void ParcelClientFetcher::fetch(
     const net::Url& url, web::ObjectType hint, bool randomized,
-    std::uint32_t /*object_id*/,
+    std::uint32_t object_id,
     std::function<void(browser::FetchResult)> on_result) {
   net::Url final_url = url;
   if (randomized) {
@@ -52,8 +52,10 @@ void ParcelClientFetcher::fetch(
     deliver(it->second, hint, std::move(on_result));
     return;
   }
-  Parked parked{final_url, hint, std::move(on_result)};
-  if (complete_noted_ || !suppression_) {
+  Parked parked{final_url, hint, object_id, std::move(on_result)};
+  if (degraded_) {
+    request_direct(std::move(parked));
+  } else if (complete_noted_ || !suppression_) {
     request_fallback(std::move(parked));
   } else {
     ++suppressed_;
@@ -94,7 +96,31 @@ void ParcelClientFetcher::on_completion_note() {
   for (auto& parked : stragglers) request_fallback(std::move(parked));
 }
 
+void ParcelClientFetcher::degrade_to_direct() {
+  if (degraded_) return;
+  degraded_ = true;
+  // Whatever the proxy still owed us is now our own job.
+  std::vector<Parked> stranded = std::move(parked_);
+  parked_.clear();
+  for (auto& parked : stranded) request_direct(std::move(parked));
+}
+
+void ParcelClientFetcher::request_direct(Parked parked) {
+  if (!direct_fetch_) {
+    throw std::logic_error("ParcelClientFetcher: direct fetch not wired");
+  }
+  ++direct_fetches_;
+  util::log_debug("core.client", "direct fetch: " + parked.url.str());
+  direct_fetch_(parked.url, parked.hint, parked.object_id,
+                std::move(parked.on_result));
+}
+
 void ParcelClientFetcher::request_fallback(Parked parked) {
+  if (degraded_) {
+    // The proxy is presumed dead; relaying through it would hang forever.
+    request_direct(std::move(parked));
+    return;
+  }
   if (!fallback_) {
     throw std::logic_error("ParcelClientFetcher: fallback not wired");
   }

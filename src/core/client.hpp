@@ -31,10 +31,27 @@ class ParcelClientFetcher final : public browser::Fetcher {
   using FallbackFn = std::function<void(const net::Url& url,
                                         web::ObjectType hint)>;
 
+  /// Wired by the session to fetch an object directly from its origin,
+  /// bypassing the (presumed dead) proxy. Last rung of the degradation
+  /// ladder (DESIGN.md §7).
+  using DirectFetchFn = std::function<void(
+      const net::Url& url, web::ObjectType hint, std::uint32_t object_id,
+      std::function<void(browser::FetchResult)> on_result)>;
+
   ParcelClientFetcher(sim::Scheduler& sched, util::Rng rng,
                       Duration local_lookup_delay = Duration::micros(500));
 
   void set_fallback(FallbackFn fallback) { fallback_ = std::move(fallback); }
+  void set_direct_fetch(DirectFetchFn direct) {
+    direct_fetch_ = std::move(direct);
+  }
+
+  /// Give up on the proxy: every parked request is re-issued as a
+  /// direct-to-origin fetch, and future cache misses go direct too. The
+  /// bundle cache keeps serving whatever did arrive.
+  void degrade_to_direct();
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] std::size_t direct_fetches() const { return direct_fetches_; }
 
   /// Ablation knob: with suppression disabled, every cache miss turns
   /// into an immediate fallback request instead of parking — the naive
@@ -67,17 +84,20 @@ class ParcelClientFetcher final : public browser::Fetcher {
   struct Parked {
     net::Url url;  // exact URL the engine asked for
     web::ObjectType hint;
+    std::uint32_t object_id = 0;
     std::function<void(browser::FetchResult)> on_result;
   };
 
   void deliver(const web::MhtmlPart& part, web::ObjectType hint,
                std::function<void(browser::FetchResult)> on_result);
   void request_fallback(Parked parked);
+  void request_direct(Parked parked);
 
   sim::Scheduler& sched_;
   util::Rng rng_;
   Duration local_lookup_delay_;
   FallbackFn fallback_;
+  DirectFetchFn direct_fetch_;
 
   /// Bundle cache keyed by interned URL identity (exact-URL match, as
   /// before — only the key representation changed).
@@ -85,9 +105,11 @@ class ParcelClientFetcher final : public browser::Fetcher {
   std::vector<Parked> parked_;
   bool suppression_ = true;
   bool complete_noted_ = false;
+  bool degraded_ = false;
   std::size_t cache_hits_ = 0;
   std::size_t suppressed_ = 0;
   std::size_t fallbacks_ = 0;
+  std::size_t direct_fetches_ = 0;
 };
 
 }  // namespace parcel::core

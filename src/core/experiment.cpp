@@ -7,6 +7,8 @@
 #include "browser/proxied_browser.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/session.hpp"
+#include "net/fault_injector.hpp"
+#include "trace/trace_analyzer.hpp"
 #include "util/stats.hpp"
 
 namespace parcel::core {
@@ -74,6 +76,22 @@ browser::DirConfig proxy_fetch_config() {
   return cfg;
 }
 
+// Recovery machinery armed only under an active fault plan: fair-weather
+// runs must stay byte-identical to a build without the fault layer, and
+// armed timers consume scheduler sequence numbers even when they never
+// fire.
+constexpr util::Duration kObjectTimeout = util::Duration::seconds(8);
+constexpr int kFetchRetries = 2;
+constexpr util::Duration kRetryBackoff = util::Duration::millis(250);
+constexpr util::Duration kStallDeadline = util::Duration::seconds(10);
+
+void harden_fetch(browser::DirConfig& cfg) {
+  cfg.tcp.loss_recovery = true;
+  cfg.object_timeout = kObjectTimeout;
+  cfg.max_fetch_retries = kFetchRetries;
+  cfg.retry_backoff = kRetryBackoff;
+}
+
 void finalize_common(RunResult& result, Testbed& testbed,
                      const RunConfig& config) {
   testbed.client_trace().truncate_after(
@@ -86,6 +104,11 @@ void finalize_common(RunResult& result, Testbed& testbed,
   result.downlink_bytes = result.trace.downlink_bytes();
   result.uplink_bytes = result.trace.uplink_bytes();
   result.tcp_connections = result.trace.connection_count();
+  if (const net::FaultInjector* faults = testbed.faults()) {
+    result.fault_drops = faults->drops();
+    result.fault_deferrals = faults->deferrals();
+    result.recovery = trace::TraceAnalyzer::recovery_time(result.trace);
+  }
   if (const lte::FadeProcess* fade = testbed.fade()) {
     result.mean_signal_dbm = fade->mean_signal_dbm(
         util::TimePoint::origin() + result.tlt);
@@ -98,6 +121,7 @@ RunResult run_dir(const web::WebPage& page, const RunConfig& config) {
 
   browser::DirConfig dir_cfg;
   dir_cfg.engine = client_engine_config(config.device);
+  if (config.testbed.faults.enabled()) harden_fetch(dir_cfg);
   browser::DirBrowser dir(testbed.network(), dir_cfg,
                           util::Rng(config.seed));
 
@@ -121,6 +145,7 @@ RunResult run_dir(const web::WebPage& page, const RunConfig& config) {
   result.radio_http_requests = dir.fetcher().requests_issued();
   result.dns_lookups = dir.fetcher().dns_lookups();
   result.objects_loaded = dir.engine().ledger().count();
+  result.retransmits = dir.fetcher().retransmits();
   finalize_common(result, testbed, config);
   return result;
 }
@@ -136,9 +161,38 @@ RunResult run_parcel(Scheme scheme, const web::WebPage& page,
   session_cfg.proxy.inactivity_window = config.proxy_inactivity_window;
   session_cfg.client_engine = client_engine_config(config.device);
   session_cfg.proxy_domain = Testbed::kProxyDomain;
+  const sim::FaultPlan& plan = config.testbed.faults;
+  if (plan.enabled()) {
+    // Client-proxy transport recovers from injected loss; the stall
+    // watchdog backs the whole PARCEL path with the degradation ladder
+    // (DESIGN.md §7). The proxy's own fetcher retries origin 503s.
+    session_cfg.tcp.loss_recovery = true;
+    session_cfg.stall_deadline = kStallDeadline;
+    session_cfg.direct_fetch.engine = session_cfg.client_engine;
+    harden_fetch(session_cfg.direct_fetch);
+    harden_fetch(session_cfg.proxy.fetch);
+  }
 
   ParcelSession session(testbed.network(), session_cfg,
                         util::Rng(config.seed));
+  if (plan.proxy_crash_at) {
+    testbed.scheduler().schedule_at(*plan.proxy_crash_at, [&session, &testbed] {
+      session.inject_proxy_crash();
+      testbed.client_trace().record_fault(
+          trace::FaultEvent{testbed.scheduler().now(),
+                            trace::FaultKind::kProxyCrash, 0, 0});
+    });
+    if (plan.proxy_restart_after) {
+      testbed.scheduler().schedule_at(
+          *plan.proxy_crash_at + *plan.proxy_restart_after,
+          [&session, &testbed] {
+            session.inject_proxy_restart();
+            testbed.client_trace().record_fault(
+                trace::FaultEvent{testbed.scheduler().now(),
+                                  trace::FaultKind::kProxyRestart, 0, 0});
+          });
+    }
+  }
 
   RunResult result;
   result.scheme = scheme;
@@ -163,6 +217,13 @@ RunResult run_parcel(Scheme scheme, const web::WebPage& page,
   result.dns_lookups = 0;
   result.objects_loaded = session.client_engine().ledger().count();
   result.bundles = session.bundles_delivered();
+  result.retransmits = session.transport_retransmits();
+  if (session.degraded()) {
+    result.degraded = true;
+    result.direct_fetches = session.client_fetcher().direct_fetches();
+    testbed.client_trace().record_fault(trace::FaultEvent{
+        *session.degraded_at(), trace::FaultKind::kDegraded, 0, 0});
+  }
   finalize_common(result, testbed, config);
   return result;
 }
@@ -177,10 +238,14 @@ RunResult run_proxied(Scheme scheme, const web::WebPage& page,
           ? browser::ProxiedBrowserConfig::spdy_proxy()
           : browser::ProxiedBrowserConfig::http_proxy();
   cfg.engine = client_engine_config(config.device);
+  browser::DirConfig relay_cfg = proxy_fetch_config();
+  if (config.testbed.faults.enabled()) {
+    cfg.tcp.loss_recovery = true;
+    harden_fetch(relay_cfg);
+  }
 
   util::Rng rng(config.seed);
-  browser::RelayProxy relay(testbed.network(), proxy_fetch_config(),
-                            rng.fork());
+  browser::RelayProxy relay(testbed.network(), relay_cfg, rng.fork());
   const std::string relay_domain = "relay.proxy.example";
   testbed.register_proxy_endpoint(relay_domain, relay);
   browser::ProxiedBrowser client(testbed.network(), relay_domain, cfg,
@@ -217,6 +282,7 @@ RunResult run_cloud(const web::WebPage& page, const RunConfig& config) {
   browser::CloudBrowserConfig cb_cfg;
   cb_cfg.proxy_fetch = proxy_fetch_config();
   cb_cfg.client = client_engine_config(config.device);
+  if (config.testbed.faults.enabled()) harden_fetch(cb_cfg.proxy_fetch);
 
   util::Rng rng(config.seed);
   browser::CloudBrowserProxy proxy(testbed.network(), cb_cfg, rng.fork());
@@ -290,6 +356,19 @@ double SchemeSeries::median_cr_j() const {
 RoundsOutcome run_rounds(const web::WebPage& page,
                          const std::vector<Scheme>& schemes,
                          const RoundsConfig& config) {
+  if (config.rounds <= 0) {
+    throw std::invalid_argument("run_rounds: rounds must be positive, got " +
+                                std::to_string(config.rounds));
+  }
+  if (config.signal_tolerance_db < 0) {
+    throw std::invalid_argument(
+        "run_rounds: signal_tolerance_db must be >= 0, got " +
+        std::to_string(config.signal_tolerance_db));
+  }
+  // Surface a malformed fault plan here with one clear error instead of
+  // once per (round x scheme) testbed construction.
+  config.base.testbed.faults.validate();
+
   RoundsOutcome outcome;
   outcome.rounds_total = config.rounds;
   if (schemes.empty()) return outcome;

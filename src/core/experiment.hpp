@@ -63,6 +63,15 @@ struct RunResult {
   util::Bytes uplink_bytes = 0;
   double mean_signal_dbm = -90.0;
 
+  // Fault-robustness surface (all zero in fault-free runs).
+  std::uint64_t retransmits = 0;      // client-side TCP RTO retransmissions
+  std::uint64_t fault_drops = 0;      // bursts destroyed by the injector
+  std::uint64_t fault_deferrals = 0;  // bursts deferred by blackout windows
+  std::size_t direct_fetches = 0;     // degraded-mode direct-to-origin GETs
+  bool degraded = false;              // client presumed the proxy dead
+  /// First injected fault -> next delivered payload burst.
+  util::Duration recovery = util::Duration::zero();
+
   trace::PacketTrace trace;  // kept for timeline figures (6a, 7a)
 };
 

@@ -85,8 +85,10 @@ void ParcelProxy::load_page(const net::Url& url) {
 
 void ParcelProxy::begin_load(const net::Url& url,
                              const browser::FetchCache* warm) {
+  page_lost_ = false;
   scheduler_ = std::make_unique<BundleScheduler>(
       config_.bundle, [this](web::MhtmlWriter bundle) {
+        if (crashed_ || page_lost_) return;  // bundle dies with the process
         push_(std::move(bundle));
       });
   net_fetcher_ = std::make_unique<browser::NetworkFetcher>(
@@ -109,6 +111,9 @@ void ParcelProxy::begin_load(const net::Url& url,
 }
 
 void ParcelProxy::on_intercept(const browser::FetchResult& result) {
+  // A crashed (or crashed-then-restarted) proxy lost the in-flight page;
+  // origin responses still draining through the old engine go nowhere.
+  if (crashed_ || page_lost_) return;
   // Cache mirror (§4.5): the personalized proxy tracks what it already
   // sent this client; re-identified objects on later pages of the
   // session are not re-transmitted.
@@ -133,7 +138,7 @@ void ParcelProxy::arm_completion_timer() {
   completion_timer_.cancel();
   completion_timer_ = network_.scheduler().schedule_after(
       config_.inactivity_window, [this] {
-        if (completion_declared_) return;
+        if (completion_declared_ || crashed_ || page_lost_) return;
         completion_declared_ = true;
         scheduler_->on_page_complete();
         util::log_debug("core.proxy", "completion declared");
@@ -141,9 +146,26 @@ void ParcelProxy::arm_completion_timer() {
       });
 }
 
+void ParcelProxy::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  page_lost_ = true;
+  ++crash_count_;
+  completion_timer_.cancel();
+  util::log_debug("core.proxy", "proxy crashed");
+}
+
+void ParcelProxy::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // page_lost_ stays set: the new process has no memory of the old load.
+  util::log_debug("core.proxy", "proxy restarted");
+}
+
 void ParcelProxy::fetch_for_client(const net::Url& url,
                                    web::ObjectType hint) {
   if (!net_fetcher_) throw std::logic_error("ParcelProxy: not started");
+  if (crashed_ || page_lost_) return;  // request vanishes into a dead peer
   ++fallback_serves_;
   net_fetcher_->fetch(url, hint, /*randomized=*/false,
                       /*object_id=*/0,
@@ -158,6 +180,7 @@ void ParcelProxy::fetch_for_client(const net::Url& url,
 
 void ParcelProxy::relay_post(const net::Url& url, util::Bytes body_bytes) {
   if (!net_fetcher_) throw std::logic_error("ParcelProxy: not started");
+  if (crashed_ || page_lost_) return;  // request vanishes into a dead peer
   net_fetcher_->post(
       url, body_bytes, [this, url](const net::HttpResponse& response) {
         web::MhtmlWriter bundle;

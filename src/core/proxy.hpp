@@ -81,6 +81,18 @@ class ParcelProxy {
   /// pushed back as a single-part bundle (or a 204 marker part).
   void relay_post(const net::Url& url, util::Bytes body_bytes);
 
+  /// The proxy process dies: the in-progress page's state is lost, no
+  /// further bundles, pushes, or completion notes are emitted, and
+  /// incoming client requests are silently dropped (exactly what a dead
+  /// TCP peer looks like at this model's granularity).
+  void crash();
+  /// A fresh process comes back up. The interrupted load is NOT resumed —
+  /// the page state died with the old process; recovery is client-driven.
+  /// A later load_page() starts cleanly on the new process.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::size_t crash_count() const { return crash_count_; }
+
   [[nodiscard]] bool started() const { return engine_ != nullptr; }
   [[nodiscard]] const browser::BrowserEngine& engine() const;
   [[nodiscard]] bool completion_declared() const {
@@ -113,6 +125,11 @@ class ParcelProxy {
 
   bool onload_seen_ = false;
   bool completion_declared_ = false;
+  bool crashed_ = false;
+  /// The load that was in flight when the proxy crashed is unrecoverable
+  /// even after restart (fresh process, no page state).
+  bool page_lost_ = false;
+  std::size_t crash_count_ = 0;
   std::size_t fallback_serves_ = 0;
   std::size_t mirror_skips_ = 0;
   /// URLs already delivered to the client this session (the cache

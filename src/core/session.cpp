@@ -97,6 +97,8 @@ void ParcelSession::load(const net::Url& url, Callbacks callbacks) {
     client_complete_ = false;
     complete_fired_ = false;
     fetcher_.on_new_page();
+    note_progress();
+    arm_watchdog();
     retired_engines_.push_back(std::move(engine_));
     engine_ = std::make_unique<browser::BrowserEngine>(
         network_.scheduler(), fetcher_, config_.client_engine,
@@ -109,6 +111,8 @@ void ParcelSession::load(const net::Url& url, Callbacks callbacks) {
     return;
   }
   session_open_ = true;
+  note_progress();
+  arm_watchdog();
 
   conn_.connect([this, url, request_bytes] {
     conn_.send_to_server(request_bytes, /*object_id=*/0,
@@ -137,6 +141,7 @@ void ParcelSession::push_bundle(web::MhtmlWriter bundle) {
   ++pushes_in_flight_;
   conn_.stream_to_client(
       wire_size, next_push_id_++, [this, text, wire_size](util::TimePoint) {
+        note_progress();
         ++bundles_delivered_;
         bundle_bytes_ += wire_size;
         fetcher_.on_bundle_parts(web::MhtmlReader::parse(*text));
@@ -159,18 +164,85 @@ void ParcelSession::send_completion_note() {
   ++pushes_in_flight_;
   conn_.stream_to_client(kCompletionNoteBytes, /*object_id=*/0,
                          [this](util::TimePoint) {
+                           note_progress();
                            fetcher_.on_completion_note();
                            --pushes_in_flight_;
                            check_session_complete();
                          });
 }
 
+void ParcelSession::note_progress() {
+  last_progress_ = network_.scheduler().now();
+}
+
+void ParcelSession::arm_watchdog() {
+  if (config_.stall_deadline <= util::Duration::zero()) return;
+  watchdog_.cancel();
+  watchdog_ = network_.scheduler().schedule_after(config_.stall_deadline,
+                                                  [this] { on_watchdog(); });
+}
+
+void ParcelSession::on_watchdog() {
+  if (complete_fired_ || proxy_presumed_dead_) return;
+  util::TimePoint now = network_.scheduler().now();
+  if (now - last_progress_ < config_.stall_deadline) {
+    // Progress since the timer was armed; watch from the latest beat.
+    watchdog_ = network_.scheduler().schedule_at(
+        last_progress_ + config_.stall_deadline, [this] { on_watchdog(); });
+    return;
+  }
+  if (fetcher_.parked_count() == 0 && proxy_.completion_declared()) {
+    // Quiet because the page is essentially done; let completion land.
+    return;
+  }
+  // The proxy has been silent past the deadline with work outstanding:
+  // presume it dead and walk down the degradation ladder — whatever the
+  // bundles delivered stays cached, everything else goes direct-to-origin.
+  util::log_info("core.session", "stall deadline passed, degrading to direct");
+  proxy_presumed_dead_ = true;
+  degraded_at_ = now;
+  ensure_direct_fetcher();
+  fetcher_.degrade_to_direct();
+  check_session_complete();
+}
+
+void ParcelSession::ensure_direct_fetcher() {
+  if (direct_fetcher_) return;
+  direct_fetcher_ = std::make_unique<browser::NetworkFetcher>(
+      network_, "client", config_.direct_fetch, rng_.fork());
+  fetcher_.set_direct_fetch(
+      [this](const net::Url& url, web::ObjectType hint,
+             std::uint32_t object_id,
+             std::function<void(browser::FetchResult)> on_result) {
+        direct_fetcher_->fetch(url, hint, /*randomized=*/false, object_id,
+                               std::move(on_result));
+      });
+}
+
+void ParcelSession::inject_proxy_crash() { proxy_.crash(); }
+
+void ParcelSession::inject_proxy_restart() { proxy_.restart(); }
+
+std::uint64_t ParcelSession::transport_retransmits() const {
+  std::uint64_t n = conn_.retransmits();
+  if (direct_fetcher_) n += direct_fetcher_->retransmits();
+  return n;
+}
+
 void ParcelSession::check_session_complete() {
   if (complete_fired_) return;
-  if (!client_complete_ || !proxy_.completion_declared()) return;
-  if (pushes_in_flight_ != 0 || conn_.streaming()) return;
-  if (fetcher_.parked_count() != 0) return;
+  if (!client_complete_) return;
+  if (proxy_presumed_dead_) {
+    // Degraded completion: the proxy will never declare anything; the
+    // page is done when the client engine is done and nothing is parked.
+    if (fetcher_.parked_count() != 0) return;
+  } else {
+    if (!proxy_.completion_declared()) return;
+    if (pushes_in_flight_ != 0 || conn_.streaming()) return;
+    if (fetcher_.parked_count() != 0) return;
+  }
   complete_fired_ = true;
+  watchdog_.cancel();
   if (callbacks_.on_complete) {
     callbacks_.on_complete(network_.scheduler().now());
   }

@@ -35,6 +35,15 @@ struct ParcelSessionConfig {
   std::string screen_info = "720x1280";
   /// Ablation: disable the client's request suppression (§4.5).
   bool client_suppression = true;
+
+  /// Stall watchdog: when the page is incomplete and no bundle or
+  /// completion note has arrived for this long, the client presumes the
+  /// proxy dead and degrades to direct-to-origin fetches (DESIGN.md §7).
+  /// Zero (the default) disables the watchdog — no timer is ever armed.
+  util::Duration stall_deadline = util::Duration::zero();
+  /// Fetch config for the degraded direct path (the experiment harness
+  /// applies the same TCP params and hardening as the rest of the run).
+  browser::DirConfig direct_fetch;
 };
 
 class ParcelSession {
@@ -64,6 +73,12 @@ class ParcelSession {
   void post(const net::Url& url, util::Bytes body_bytes,
             std::function<void()> on_response);
 
+  /// Fault hooks (driven by the experiment harness's fault plan): the
+  /// proxy process dies / comes back. Recovery is client-driven — the
+  /// stall watchdog notices the silence and degrades to direct fetches.
+  void inject_proxy_crash();
+  void inject_proxy_restart();
+
   // --- Introspection ----------------------------------------------------
   [[nodiscard]] browser::BrowserEngine& client_engine();
   [[nodiscard]] const ParcelProxy& proxy() const { return proxy_; }
@@ -79,11 +94,23 @@ class ParcelSession {
   [[nodiscard]] util::Bytes bundle_bytes_delivered() const {
     return bundle_bytes_;
   }
+  /// True once the stall watchdog gave up on the proxy.
+  [[nodiscard]] bool degraded() const { return degraded_at_.has_value(); }
+  [[nodiscard]] std::optional<util::TimePoint> degraded_at() const {
+    return degraded_at_;
+  }
+  /// TCP retransmissions on the client's radio-crossing connections (the
+  /// proxy link plus the degraded direct path, if it was opened).
+  [[nodiscard]] std::uint64_t transport_retransmits() const;
 
  private:
   void push_bundle(web::MhtmlWriter bundle);
   void send_completion_note();
   void check_session_complete();
+  void note_progress();
+  void arm_watchdog();
+  void on_watchdog();
+  void ensure_direct_fetcher();
 
   net::Network& network_;
   ParcelSessionConfig config_;
@@ -102,6 +129,14 @@ class ParcelSession {
 
   /// HTTPS bypass path.
   std::unique_ptr<browser::DirBrowser> direct_;
+
+  /// Degraded-mode fetcher, constructed lazily at degradation time so
+  /// fault-free runs consume no extra RNG forks (byte-identity).
+  std::unique_ptr<browser::NetworkFetcher> direct_fetcher_;
+  sim::EventHandle watchdog_;
+  util::TimePoint last_progress_;
+  bool proxy_presumed_dead_ = false;
+  std::optional<util::TimePoint> degraded_at_;
 
   bool client_complete_ = false;
   bool complete_fired_ = false;

@@ -6,12 +6,24 @@ Testbed::Testbed(TestbedConfig config)
     : config_(config),
       network_(sched_),
       topo_rng_(config.topology_seed) {
+  config_.faults.validate();
+  if (config_.faults.enabled()) {
+    faults_ = std::make_unique<net::FaultInjector>(config_.faults);
+    faults_->set_event_sink(
+        [this](const trace::FaultEvent& e) { trace_.record_fault(e); });
+  }
   std::shared_ptr<const lte::FadeProcess> fade;
   if (config_.fade) {
     fade = std::make_shared<lte::FadeProcess>(util::Rng(config_.fade_seed),
                                               *config_.fade);
   }
   radio_ = lte::make_radio_link(sched_, config_.radio, fade);
+  if (faults_) {
+    // Faults live on the radio: the cellular leg is where the paper's
+    // real-network variability comes from. Wired legs stay clean.
+    radio_.link->up().set_fault_injector(faults_.get());
+    radio_.link->down().set_fault_injector(faults_.get());
+  }
 
   // Tap the radio: every burst that crosses it is a phone-capture record.
   radio_.link->up().set_tap([this](util::TimePoint t, util::Bytes b,
@@ -70,6 +82,7 @@ void Testbed::host_page(const web::WebPage& page) {
     auto [it, inserted] = origins_.try_emplace(domain, nullptr);
     if (inserted) {
       it->second = std::make_unique<web::OriginServer>(sched_, domain);
+      if (faults_) it->second->set_fault_injector(faults_.get());
       network_.register_endpoint(domain, *it->second);
       network_.set_route("client", domain,
                          net::Path({radio_link_, core_, &slink}));

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "lte/radio_link.hpp"
+#include "net/fault_injector.hpp"
 #include "net/network.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/packet_trace.hpp"
 #include "web/origin_server.hpp"
@@ -48,6 +50,11 @@ struct TestbedConfig {
   util::Duration proxy_access_delay = util::Duration::millis(5);
   util::BitRate proxy_access_rate = util::BitRate::mbps(1000);
   util::Duration dns_access_delay = util::Duration::millis(3);
+
+  /// Injected faults (validated in the Testbed constructor). Disabled by
+  /// default: no injector state is consulted and runs stay byte-identical
+  /// to a fault-free build.
+  sim::FaultPlan faults;
 };
 
 class Testbed {
@@ -72,6 +79,8 @@ class Testbed {
   }
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
   [[nodiscard]] web::OriginServer* origin(const std::string& domain);
+  /// Null when the run's fault plan is disabled.
+  [[nodiscard]] net::FaultInjector* faults() { return faults_.get(); }
 
   /// Domain name under which the PARCEL proxy is routed from the client.
   static constexpr const char* kProxyDomain = "parcel.proxy";
@@ -84,6 +93,7 @@ class Testbed {
   net::Network network_;
   trace::PacketTrace trace_;
   util::Rng topo_rng_;
+  std::unique_ptr<net::FaultInjector> faults_;
 
   lte::RadioLink radio_{};
   net::DuplexLink* radio_link_ = nullptr;

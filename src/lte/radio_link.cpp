@@ -46,11 +46,12 @@ RadioLinkHalf::RadioLinkHalf(sim::Scheduler& sched, std::string name,
 
 void RadioLinkHalf::transmit(util::Bytes bytes, const net::BurstInfo& info,
                              DeliveryCallback on_delivered) {
+  if (fault_drop(bytes, info)) return;
   TimePoint now = sched_.now();
   if (fade_) set_rate_scale(fade_->scale_at(now));
   Duration promo = rrc_->promotion_delay(now);
   TimePoint earliest = now + promo;
-  TimePoint delivery = enqueue_burst(earliest, bytes);
+  TimePoint delivery = enqueue_burst(earliest, bytes, info);
   // Radio is active from the promotion start through the end of
   // serialization (delivery minus propagation).
   rrc_->note_activity(now, delivery - prop_delay());

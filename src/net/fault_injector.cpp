@@ -1,0 +1,93 @@
+#include "net/fault_injector.hpp"
+
+namespace parcel::net {
+
+namespace {
+
+// Independent child streams off the plan seed: loss draws and server-error
+// draws must not perturb each other as plans change.
+constexpr std::uint64_t kLossStream = 0x6c6f7373;    // "loss"
+constexpr std::uint64_t kServerStream = 0x73727672;  // "srvr"
+
+}  // namespace
+
+FaultInjector::FaultInjector(const sim::FaultPlan& plan)
+    : plan_(plan),
+      loss_rng_(plan.seed ^ kLossStream),
+      server_rng_(plan.seed ^ kServerStream) {
+  plan_.validate();
+}
+
+void FaultInjector::emit(TimePoint t, trace::FaultKind kind, Bytes bytes,
+                         std::uint32_t conn_id) {
+  if (sink_) sink_(trace::FaultEvent{t, kind, bytes, conn_id});
+}
+
+bool FaultInjector::drop_burst(TimePoint now, Bytes bytes,
+                               const BurstInfo& info) {
+  if (forced_drops_ > 0) {
+    --forced_drops_;
+    ++drops_;
+    emit(now, trace::FaultKind::kLoss, bytes, info.conn_id);
+    return true;
+  }
+  if (plan_.loss_probability <= 0.0) return false;
+  if (!loss_rng_.bernoulli(plan_.loss_probability)) return false;
+  ++drops_;
+  emit(now, trace::FaultKind::kLoss, bytes, info.conn_id);
+  return true;
+}
+
+TimePoint FaultInjector::blackout_release(TimePoint earliest, Bytes bytes,
+                                          const BurstInfo& info) {
+  if (plan_.blackouts.empty()) return earliest;
+  TimePoint t = earliest;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const sim::FaultWindow& w : plan_.blackouts) {
+      if (w.contains(t)) {
+        t = w.end();
+        moved = true;
+      }
+    }
+  }
+  if (t > earliest) {
+    ++deferrals_;
+    emit(earliest, trace::FaultKind::kBlackout, bytes, info.conn_id);
+  }
+  return t;
+}
+
+double FaultInjector::rate_multiplier(TimePoint start, Bytes bytes,
+                                      const BurstInfo& info) {
+  for (const sim::FaultWindow& w : plan_.collapses) {
+    if (w.contains(start)) {
+      ++collapsed_;
+      emit(start, trace::FaultKind::kCollapse, bytes, info.conn_id);
+      return plan_.collapse_factor;
+    }
+  }
+  return 1.0;
+}
+
+bool FaultInjector::server_error(TimePoint now) {
+  if (plan_.server_error_probability <= 0.0) return false;
+  if (!server_rng_.bernoulli(plan_.server_error_probability)) return false;
+  ++server_errors_;
+  emit(now, trace::FaultKind::kServerError, 0, 0);
+  return true;
+}
+
+Duration FaultInjector::server_stall(TimePoint now) {
+  for (const sim::FaultWindow& w : plan_.server_stalls) {
+    if (w.contains(now)) {
+      ++server_stalls_;
+      emit(now, trace::FaultKind::kServerStall, 0, 0);
+      return plan_.server_stall_extra;
+    }
+  }
+  return Duration::zero();
+}
+
+}  // namespace parcel::net

@@ -1,0 +1,95 @@
+// FaultInjector: per-run runtime state behind a sim::FaultPlan.
+//
+// One injector is owned by the Testbed and shared by every fault-carrying
+// component of that run: the radio link halves consult it for loss,
+// blackout deferral, and bandwidth collapse; origin servers consult it for
+// stall/error injection. All randomness comes from streams forked off the
+// plan's seed (independent of the testbed's own Rng), so enabling faults
+// never perturbs fair-weather draws and a faulted run replays bit-for-bit.
+//
+// When the plan is disabled every hook is a no-consequence early return —
+// no draws, no state — keeping faults=off runs byte-identical to a build
+// without the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/link.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace parcel::net {
+
+using util::Duration;
+using util::TimePoint;
+
+class FaultInjector {
+ public:
+  using EventSink = std::function<void(const trace::FaultEvent&)>;
+
+  explicit FaultInjector(const sim::FaultPlan& plan);
+
+  /// Receives every injected fault (wired to PacketTrace::record_fault).
+  void set_event_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] const sim::FaultPlan& plan() const { return plan_; }
+
+  // --- Link hooks -------------------------------------------------------
+
+  /// True if this burst is destroyed. Draws from the loss stream only when
+  /// loss_probability > 0 (or a scripted drop is pending).
+  bool drop_burst(TimePoint now, Bytes bytes, const BurstInfo& info);
+
+  /// Earliest serialization start after blackout deferral: a start inside
+  /// an outage window is pushed to the window's end (chained windows are
+  /// followed). Identity when no window matches.
+  TimePoint blackout_release(TimePoint earliest, Bytes bytes,
+                             const BurstInfo& info);
+
+  /// Rate multiplier for a burst starting at `start`: collapse_factor
+  /// inside a collapse window, 1.0 otherwise.
+  double rate_multiplier(TimePoint start, Bytes bytes, const BurstInfo& info);
+
+  // --- Origin-server hooks ----------------------------------------------
+
+  /// True if the server should answer this request with a 503.
+  bool server_error(TimePoint now);
+
+  /// Extra think time for a request arriving at `now` (zero outside stall
+  /// windows).
+  Duration server_stall(TimePoint now);
+
+  // --- Test knob --------------------------------------------------------
+
+  /// Force the next `n` bursts through drop_burst to be lost, regardless
+  /// of loss_probability. Deterministic retransmit tests use this instead
+  /// of tuning probabilities.
+  void drop_next(int n) { forced_drops_ += n; }
+
+  // --- Counters ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t deferrals() const { return deferrals_; }
+  [[nodiscard]] std::uint64_t collapsed_bursts() const { return collapsed_; }
+  [[nodiscard]] std::uint64_t server_errors() const { return server_errors_; }
+  [[nodiscard]] std::uint64_t server_stalls() const { return server_stalls_; }
+
+ private:
+  void emit(TimePoint t, trace::FaultKind kind, Bytes bytes,
+            std::uint32_t conn_id);
+
+  sim::FaultPlan plan_;
+  util::Rng loss_rng_;
+  util::Rng server_rng_;
+  EventSink sink_;
+  int forced_drops_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t deferrals_ = 0;
+  std::uint64_t collapsed_ = 0;
+  std::uint64_t server_errors_ = 0;
+  std::uint64_t server_stalls_ = 0;
+};
+
+}  // namespace parcel::net

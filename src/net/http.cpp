@@ -100,6 +100,16 @@ HttpClientPool::HttpClientPool(sim::Scheduler& sched, PathFactory path_factory,
   }
 }
 
+std::uint64_t HttpClientPool::retransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, state] : domains_) {
+    for (const auto& c : state.conns) {
+      n += c->tcp().retransmits();
+    }
+  }
+  return n;
+}
+
 std::size_t HttpClientPool::busy_connections() const {
   std::size_t n = 0;
   for (const auto& [_, state] : domains_) {

@@ -83,6 +83,7 @@ class HttpConnection {
   }
   [[nodiscard]] std::uint32_t id() const { return tcp_.id(); }
   [[nodiscard]] TcpConnection& tcp() { return tcp_; }
+  [[nodiscard]] const TcpConnection& tcp() const { return tcp_; }
 
  private:
   struct Pending {
@@ -130,6 +131,10 @@ class HttpClientPool {
   [[nodiscard]] std::size_t peak_concurrency() const {
     return peak_concurrency_;
   }
+
+  /// Sum of TCP retransmissions across every connection the pool opened
+  /// (zero unless the run enables loss recovery).
+  [[nodiscard]] std::uint64_t retransmits() const;
 
  private:
   struct DomainState {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/fault_injector.hpp"
+
 namespace parcel::net {
 
 Link::Link(sim::Scheduler& sched, std::string name, BitRate rate,
@@ -23,11 +25,18 @@ void Link::set_rate_scale(double scale) {
   rate_scale_ = scale;
 }
 
-TimePoint Link::enqueue_burst(TimePoint earliest, Bytes bytes) {
+TimePoint Link::enqueue_burst(TimePoint earliest, Bytes bytes,
+                              const BurstInfo& info) {
+  if (faults_) earliest = faults_->blackout_release(earliest, bytes, info);
   TimePoint start = std::max(earliest, next_free_);
-  Duration tx = effective_rate().transmit_time(bytes);
+  double mult = faults_ ? faults_->rate_multiplier(start, bytes, info) : 1.0;
+  Duration tx = (effective_rate() * mult).transmit_time(bytes);
   next_free_ = start + tx;
   return next_free_ + prop_delay_;
+}
+
+bool Link::fault_drop(Bytes bytes, const BurstInfo& info) {
+  return faults_ != nullptr && faults_->drop_burst(sched_.now(), bytes, info);
 }
 
 void Link::finish_transmit(TimePoint delivery, Bytes bytes,
@@ -43,7 +52,8 @@ void Link::finish_transmit(TimePoint delivery, Bytes bytes,
 void Link::transmit(Bytes bytes, const BurstInfo& info,
                     DeliveryCallback on_delivered) {
   if (bytes < 0) throw std::invalid_argument("negative burst size");
-  TimePoint delivery = enqueue_burst(sched_.now(), bytes);
+  if (fault_drop(bytes, info)) return;
+  TimePoint delivery = enqueue_burst(sched_.now(), bytes, info);
   finish_transmit(delivery, bytes, info, on_delivered);
 }
 

@@ -24,6 +24,8 @@ using util::Bytes;
 using util::Duration;
 using util::TimePoint;
 
+class FaultInjector;
+
 /// Metadata travelling with a burst, consumed by link taps (the client's
 /// radio tap turns these into PacketRecords).
 struct BurstInfo {
@@ -54,6 +56,12 @@ class Link {
   void set_rate_scale(double scale);
   [[nodiscard]] double rate_scale() const { return rate_scale_; }
 
+  /// Compose with a fault injector (loss, blackout deferral, bandwidth
+  /// collapse). Null (the default) keeps the link fault-free; the injector
+  /// must outlive the link (the Testbed owns both).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
+
   /// Observe every delivered burst (used for packet capture).
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
@@ -64,8 +72,16 @@ class Link {
   [[nodiscard]] Bytes bytes_carried() const { return bytes_carried_; }
 
  protected:
-  /// Serialize starting no earlier than `earliest`; returns delivery time.
-  TimePoint enqueue_burst(TimePoint earliest, Bytes bytes);
+  /// Serialize starting no earlier than `earliest` (after blackout
+  /// deferral and bandwidth collapse, if an injector is set); returns the
+  /// delivery time.
+  TimePoint enqueue_burst(TimePoint earliest, Bytes bytes,
+                          const BurstInfo& info);
+
+  /// True if the injector destroys this burst. A dropped burst never
+  /// occupies the link and its delivery callback never fires — recovery is
+  /// the sender's job (TCP RTO).
+  bool fault_drop(Bytes bytes, const BurstInfo& info);
 
   void finish_transmit(TimePoint delivery, Bytes bytes, const BurstInfo& info,
                        const DeliveryCallback& on_delivered);
@@ -77,6 +93,7 @@ class Link {
   BitRate rate_;
   Duration prop_delay_;
   double rate_scale_ = 1.0;
+  FaultInjector* faults_ = nullptr;
   TimePoint next_free_ = TimePoint::origin();
   Bytes bytes_carried_ = 0;
   Tap tap_;

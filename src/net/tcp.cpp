@@ -5,6 +5,16 @@
 
 namespace parcel::net {
 
+/// Per-burst retransmission state shared between the delivery callback and
+/// the RTO timer. The first delivery wins; later copies count as spurious.
+struct TcpConnection::GuardState {
+  bool delivered = false;
+  int tries = 0;
+  Duration rto = Duration::zero();
+  sim::EventHandle timer;
+  Link::DeliveryCallback on_delivered;
+};
+
 TcpConnection::TcpConnection(sim::Scheduler& sched, Path path,
                              TcpParams params, std::uint32_t conn_id)
     : sched_(sched),
@@ -24,15 +34,77 @@ void TcpConnection::connect(Callback on_established) {
   }
   connecting_ = true;
   BurstInfo syn{trace::PacketKind::kSyn, conn_id_, 0};
-  path_.send_up(params_.control_bytes, syn, [this, cb = std::move(on_established)](TimePoint) {
+  send_guarded(true, params_.control_bytes, syn,
+               [this, cb = std::move(on_established)](TimePoint) {
     BurstInfo synack{trace::PacketKind::kSyn, conn_id_, 0};
-    path_.send_down(params_.control_bytes, synack, [this, cb](TimePoint t) {
+    send_guarded(false, params_.control_bytes, synack, [this, cb](TimePoint t) {
       established_ = true;
       connecting_ = false;
       last_activity_ = t;
       if (cb) cb();
     });
   });
+}
+
+Duration TcpConnection::initial_rto(bool up, Bytes bytes) const {
+  BitRate bottleneck = up ? path_.bottleneck_up() : path_.bottleneck_down();
+  // Burst-granularity RTO: a "segment" here is a whole send window, so the
+  // timer must cover its serialization with a generous margin (deep fades
+  // quadruple transmit times) or fair-weather deliveries would race it.
+  return std::max(params_.min_rto, path_.base_rtt() * 2.0 +
+                                       bottleneck.transmit_time(bytes) * 4.0);
+}
+
+void TcpConnection::send_guarded(bool up, Bytes bytes, const BurstInfo& info,
+                                 Link::DeliveryCallback on_delivered) {
+  if (broken_) return;  // silent; the application layer recovers
+  if (!params_.loss_recovery) {
+    if (up) {
+      path_.send_up(bytes, info, std::move(on_delivered));
+    } else {
+      path_.send_down(bytes, info, std::move(on_delivered));
+    }
+    return;
+  }
+  auto guard = std::make_shared<GuardState>();
+  guard->rto = initial_rto(up, bytes);
+  guard->on_delivered = std::move(on_delivered);
+  send_attempt(up, bytes, info, guard);
+}
+
+void TcpConnection::send_attempt(bool up, Bytes bytes, const BurstInfo& info,
+                                 const std::shared_ptr<GuardState>& guard) {
+  auto deliver = [this, guard](TimePoint t) {
+    if (guard->delivered) {
+      // A retransmitted copy of an already-delivered burst: its bytes
+      // crossed the links (and cost energy) but it clocks nothing.
+      ++spurious_;
+      return;
+    }
+    guard->delivered = true;
+    guard->timer.cancel();
+    if (guard->on_delivered) guard->on_delivered(t);
+  };
+  if (up) {
+    path_.send_up(bytes, info, deliver);
+  } else {
+    path_.send_down(bytes, info, deliver);
+  }
+
+  guard->timer =
+      sched_.schedule_after(guard->rto, [this, up, bytes, info, guard] {
+        if (guard->delivered) return;
+        if (guard->tries >= params_.max_retransmits) {
+          broken_ = true;
+          return;
+        }
+        ++guard->tries;
+        ++retransmits_;
+        // An RTO is a heavy loss signal: collapse to the initial window.
+        cwnd_segments_ = params_.initial_cwnd_segments;
+        guard->rto = guard->rto * params_.rto_backoff;
+        send_attempt(up, bytes, info, guard);
+      });
 }
 
 void TcpConnection::maybe_restart_slow_start() {
@@ -49,7 +121,8 @@ void TcpConnection::send_to_server(Bytes bytes, std::uint32_t object_id,
   last_activity_ = sched_.now();
   // Requests fit in the initial window in practice; send as one burst.
   BurstInfo info{trace::PacketKind::kData, conn_id_, object_id};
-  path_.send_up(bytes, info, [this, cb = std::move(on_arrival)](TimePoint t) {
+  send_guarded(true, bytes, info,
+               [this, cb = std::move(on_arrival)](TimePoint t) {
     last_activity_ = t;
     cb(t);
   });
@@ -89,19 +162,19 @@ void TcpConnection::send_round(Bytes remaining, Bytes total,
   TimePoint round_start = sched_.now();
   Bytes left = remaining - burst;
 
-  path_.send_down(burst, info,
-                  [this, left, object_id, on_complete](TimePoint t) {
-                    last_activity_ = t;
-                    if (left > 0) return;  // next round already scheduled
-                    // Client acknowledges the final burst; this uplink
-                    // control packet is what the paper's "last ACK"
-                    // measurement anchors on, and it keeps the radio's
-                    // uplink activity honest for the energy model.
-                    BurstInfo ack{trace::PacketKind::kAck, conn_id_,
-                                  object_id};
-                    path_.send_up(params_.control_bytes, ack, [](TimePoint) {});
-                    if (*on_complete) (*on_complete)(t);
-                  });
+  send_guarded(false, burst, info,
+               [this, left, object_id, on_complete](TimePoint t) {
+                 last_activity_ = t;
+                 if (left > 0) return;  // next round already scheduled
+                 // Client acknowledges the final burst; this uplink
+                 // control packet is what the paper's "last ACK"
+                 // measurement anchors on, and it keeps the radio's
+                 // uplink activity honest for the energy model.
+                 BurstInfo ack{trace::PacketKind::kAck, conn_id_, object_id};
+                 send_guarded(true, params_.control_bytes, ack,
+                              [](TimePoint) {});
+                 if (*on_complete) (*on_complete)(t);
+               });
 
   if (left > 0) {
     // ACK clock: the next window opens one RTT after this round began,
@@ -129,14 +202,14 @@ void TcpConnection::close(Callback on_closed) {
   closed_ = true;
   if (!established_) return;
   BurstInfo fin{trace::PacketKind::kFin, conn_id_, 0};
-  path_.send_up(params_.control_bytes, fin,
-                [this, cb = std::move(on_closed)](TimePoint) {
-                  BurstInfo finack{trace::PacketKind::kFin, conn_id_, 0};
-                  path_.send_down(params_.control_bytes, finack,
-                                  [cb](TimePoint) {
-                                    if (cb) cb();
-                                  });
-                });
+  send_guarded(true, params_.control_bytes, fin,
+               [this, cb = std::move(on_closed)](TimePoint) {
+                 BurstInfo finack{trace::PacketKind::kFin, conn_id_, 0};
+                 send_guarded(false, params_.control_bytes, finack,
+                              [cb](TimePoint) {
+                                if (cb) cb();
+                              });
+               });
 }
 
 }  // namespace parcel::net

@@ -29,6 +29,14 @@ struct TcpParams {
   /// Restart slow start after this much idle time on a persistent
   /// connection (RFC 2581 slow-start-restart, as deployed).
   Duration idle_restart = Duration::seconds(3.0);
+
+  /// Loss recovery. Off by default: fair-weather runs arm zero timers and
+  /// produce byte-identical event schedules to the pre-fault-layer model.
+  /// The experiment harness enables it only when a fault plan is active.
+  bool loss_recovery = false;
+  Duration min_rto = Duration::seconds(1.0);
+  double rto_backoff = 2.0;  // RTO doubles per retry
+  int max_retransmits = 8;   // then the connection is declared broken
 };
 
 /// One TCP connection between the client side (path origin) and the server
@@ -76,6 +84,18 @@ class TcpConnection {
   void close(Callback on_closed = nullptr);
   [[nodiscard]] bool closed() const { return closed_; }
 
+  /// RTO-triggered retransmissions (loss recovery on only).
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  /// Duplicate deliveries whose original copy had already arrived (the
+  /// retransmitted bytes still crossed the links — real energy cost).
+  [[nodiscard]] std::uint64_t spurious_retransmits() const {
+    return spurious_;
+  }
+  /// True once a single burst exhausted max_retransmits. The connection
+  /// goes silent (further sends are no-ops, their callbacks never fire);
+  /// recovery belongs to the application layer (fetch timeout, fallback).
+  [[nodiscard]] bool broken() const { return broken_; }
+
  private:
   struct StreamItem {
     Bytes bytes;
@@ -83,10 +103,20 @@ class TcpConnection {
     ArrivalCallback on_complete;
   };
 
+  struct GuardState;
+
   void start_next_stream();
   void send_round(Bytes remaining, Bytes total, std::uint32_t object_id,
                   std::shared_ptr<ArrivalCallback> on_complete);
   void maybe_restart_slow_start();
+
+  /// Send one burst, retransmitting on RTO expiry when loss recovery is
+  /// enabled; a plain path send otherwise.
+  void send_guarded(bool up, Bytes bytes, const BurstInfo& info,
+                    Link::DeliveryCallback on_delivered);
+  void send_attempt(bool up, Bytes bytes, const BurstInfo& info,
+                    const std::shared_ptr<GuardState>& guard);
+  [[nodiscard]] Duration initial_rto(bool up, Bytes bytes) const;
   [[nodiscard]] Bytes cwnd_bytes() const {
     return static_cast<Bytes>(cwnd_segments_) * params_.mss;
   }
@@ -99,6 +129,9 @@ class TcpConnection {
   bool established_ = false;
   bool connecting_ = false;
   bool closed_ = false;
+  bool broken_ = false;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t spurious_ = 0;
   int cwnd_segments_;
   TimePoint last_activity_ = TimePoint::origin();
 

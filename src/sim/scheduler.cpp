@@ -68,7 +68,18 @@ TimePoint Scheduler::run() {
 }
 
 void Scheduler::run_until(TimePoint deadline) {
-  while (!heap_.empty() && heap_.front().when <= deadline) {
+  while (!heap_.empty()) {
+    // Pop cancelled tombstones first so the deadline check sees the next
+    // *live* event. Checking the raw front is wrong: a cancelled head
+    // with when <= deadline would pass the check, and step() — which
+    // skips tombstones — would then execute a live event beyond the
+    // deadline (and leave now_ past it).
+    if (heap_.front().cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      continue;
+    }
+    if (heap_.front().when > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -80,9 +80,30 @@ std::size_t PacketTrace::connection_count() const {
   return conns.size();
 }
 
+void PacketTrace::record_fault(FaultEvent e) {
+  if (!fault_events_.empty() && e.t < fault_events_.back().t) {
+    auto it = std::upper_bound(
+        fault_events_.begin(), fault_events_.end(), e,
+        [](const FaultEvent& a, const FaultEvent& b) { return a.t < b.t; });
+    fault_events_.insert(it, e);
+    return;
+  }
+  fault_events_.push_back(e);
+}
+
+std::size_t PacketTrace::fault_count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : fault_events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
 void PacketTrace::truncate_after(TimePoint cutoff) {
   std::erase_if(records_,
                 [cutoff](const PacketRecord& r) { return r.t > cutoff; });
+  std::erase_if(fault_events_,
+                [cutoff](const FaultEvent& e) { return e.t > cutoff; });
 }
 
 std::string PacketTrace::serialize() const {
@@ -94,6 +115,12 @@ std::string PacketTrace::serialize() const {
                   static_cast<long long>(r.bytes), r.conn_id, r.object_id);
     out += buf;
   }
+  for (const auto& e : fault_events_) {
+    std::snprintf(buf, sizeof(buf), "F %.6f %u %lld %u\n", e.t.sec(),
+                  static_cast<unsigned>(e.kind), static_cast<long long>(e.bytes),
+                  e.conn_id);
+    out += buf;
+  }
   return out;
 }
 
@@ -103,6 +130,19 @@ PacketTrace PacketTrace::deserialize(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (line[0] == 'F') {
+      double t = 0.0;
+      unsigned kind = 0, conn = 0;
+      long long bytes = 0;
+      if (std::sscanf(line.c_str(), "F %lf %u %lld %u", &t, &kind, &bytes,
+                      &conn) != 4) {
+        throw std::invalid_argument("PacketTrace::deserialize: bad line: " +
+                                    line);
+      }
+      trace.record_fault(FaultEvent{TimePoint::at_seconds(t),
+                                    static_cast<FaultKind>(kind), bytes, conn});
+      continue;
+    }
     double t = 0.0;
     unsigned dir = 0, kind = 0, conn = 0, obj = 0;
     long long bytes = 0;

@@ -47,6 +47,27 @@ struct PacketRecord {
   std::uint32_t object_id = 0;
 };
 
+/// Injected-fault taxonomy (see sim::FaultPlan). Recorded alongside the
+/// packet records so experiments can report energy/latency *under faults*
+/// per scheme, plus time-to-recovery.
+enum class FaultKind : std::uint8_t {
+  kLoss,          // burst destroyed by the injector
+  kBlackout,      // burst deferred by an outage window
+  kCollapse,      // burst serialized under a bandwidth-collapse window
+  kServerStall,   // origin response delayed
+  kServerError,   // origin answered 5xx by injection
+  kProxyCrash,    // the PARCEL proxy process died
+  kProxyRestart,  // ... and came back (fresh process, page state lost)
+  kDegraded,      // client presumed the proxy dead and went direct
+};
+
+struct FaultEvent {
+  TimePoint t;
+  FaultKind kind = FaultKind::kLoss;
+  Bytes bytes = 0;
+  std::uint32_t conn_id = 0;
+};
+
 class PacketTrace {
  public:
   void record(PacketRecord r);
@@ -74,18 +95,31 @@ class PacketTrace {
   /// Distinct connection ids seen (Table 1's "# of TCP connections").
   [[nodiscard]] std::size_t connection_count() const;
 
+  /// Fault-event side channel; empty (and cost-free) in fault-free runs.
+  void record_fault(FaultEvent e);
+  [[nodiscard]] std::span<const FaultEvent> fault_events() const {
+    return fault_events_;
+  }
+  [[nodiscard]] std::size_t fault_count(FaultKind kind) const;
+
   /// Truncate to records with t <= cutoff (paper limits capture to 60 s).
   void truncate_after(TimePoint cutoff);
 
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    fault_events_.clear();
+  }
 
-  /// Serialize to a simple line format ("t dir kind bytes conn obj") and
-  /// parse it back; used by the replay store and for debugging dumps.
+  /// Serialize to a simple line format ("t dir kind bytes conn obj"; fault
+  /// events as "F t kind bytes conn" lines) and parse it back; used by the
+  /// replay store and for debugging dumps. Fault-free traces serialize
+  /// exactly as before the fault layer existed.
   [[nodiscard]] std::string serialize() const;
   static PacketTrace deserialize(const std::string& text);
 
  private:
   std::vector<PacketRecord> records_;
+  std::vector<FaultEvent> fault_events_;
 };
 
 }  // namespace parcel::trace

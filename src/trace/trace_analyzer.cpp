@@ -29,6 +29,17 @@ std::size_t TraceAnalyzer::count_gaps_longer_than(const PacketTrace& trace,
   return n;
 }
 
+util::Duration TraceAnalyzer::recovery_time(const PacketTrace& trace) {
+  auto faults = trace.fault_events();
+  if (faults.empty()) return util::Duration::zero();
+  util::TimePoint first_fault = faults.front().t;
+  for (const auto& r : trace.records()) {
+    if (r.kind != PacketKind::kData) continue;
+    if (r.t >= first_fault) return r.t - first_fault;
+  }
+  return util::Duration::zero();
+}
+
 util::Bytes TraceAnalyzer::downlink_bytes_before(const PacketTrace& trace,
                                                  util::TimePoint t) {
   util::Bytes total = 0;

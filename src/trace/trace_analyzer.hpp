@@ -34,6 +34,12 @@ class TraceAnalyzer {
   /// Cumulative downlink bytes by time `t` (Fig 6a's y-axis).
   static util::Bytes downlink_bytes_before(const PacketTrace& trace,
                                            util::TimePoint t);
+
+  /// Time from the first injected fault to the next payload burst that
+  /// was actually delivered at or after it — how long the page transfer
+  /// took to get moving again. Zero when the trace has no fault events or
+  /// no delivery ever followed one.
+  static util::Duration recovery_time(const PacketTrace& trace);
 };
 
 }  // namespace parcel::trace

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "net/fault_injector.hpp"
+
 namespace parcel::web {
 
 OriginServer::OriginServer(sim::Scheduler& sched, std::string domain)
@@ -47,22 +49,30 @@ void OriginServer::handle(const net::HttpRequest& request,
     return;
   }
 
-  const WebObject* obj = lookup(request.url);
   net::HttpResponse resp;
   resp.url = request.url;
   Duration think = Duration::millis(15);
-  if (obj == nullptr) {
-    ++not_found_;
-    resp.status = 404;
+  if (faults_ != nullptr && faults_->server_error(sched_.now())) {
+    // Injected backend failure: a quick 503, like a tripped load balancer.
+    resp.status = 503;
     resp.content_type = "text/html";
-    resp.body_bytes = 512;
+    resp.body_bytes = 256;
   } else {
-    resp.status = 200;
-    resp.content_type = std::string(mime_type(obj->type));
-    resp.body_bytes = obj->size;
-    resp.content = obj->content;
-    think = obj->server_think * think_scale_;
+    const WebObject* obj = lookup(request.url);
+    if (obj == nullptr) {
+      ++not_found_;
+      resp.status = 404;
+      resp.content_type = "text/html";
+      resp.body_bytes = 512;
+    } else {
+      resp.status = 200;
+      resp.content_type = std::string(mime_type(obj->type));
+      resp.body_bytes = obj->size;
+      resp.content = obj->content;
+      think = obj->server_think * think_scale_;
+    }
   }
+  if (faults_ != nullptr) think = think + faults_->server_stall(sched_.now());
   sched_.schedule_after(think, [resp = std::move(resp),
                                 respond = std::move(respond)]() mutable {
     respond(std::move(resp));

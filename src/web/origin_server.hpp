@@ -15,6 +15,10 @@
 #include "sim/scheduler.hpp"
 #include "web/page.hpp"
 
+namespace parcel::net {
+class FaultInjector;
+}
+
 namespace parcel::web {
 
 class OriginServer final : public net::HttpEndpoint {
@@ -39,6 +43,11 @@ class OriginServer final : public net::HttpEndpoint {
   /// Scale every object's think time (models slow origins).
   void set_think_scale(double scale) { think_scale_ = scale; }
 
+  /// Consult an injector for stall windows and 503 answers. Null (the
+  /// default) keeps the server fault-free; the injector must outlive the
+  /// server (the Testbed owns both).
+  void set_fault_injector(net::FaultInjector* faults) { faults_ = faults; }
+
   [[nodiscard]] const std::string& domain() const { return domain_; }
   [[nodiscard]] std::size_t requests_served() const { return served_; }
   [[nodiscard]] std::size_t not_found_count() const { return not_found_; }
@@ -56,6 +65,7 @@ class OriginServer final : public net::HttpEndpoint {
   std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash>
       by_normalized_;
   PostHandler post_handler_;
+  net::FaultInjector* faults_ = nullptr;
   double think_scale_ = 1.0;
   std::size_t served_ = 0;
   std::size_t not_found_ = 0;

@@ -107,6 +107,65 @@ TEST(Scheduler, RejectsEmptyCallback) {
                std::invalid_argument);
 }
 
+TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutOverrunningDeadline) {
+  // Regression: a cancelled tombstone at the heap front with
+  // when <= deadline used to pass run_until's check, and step() — which
+  // skips tombstones — then executed the next *live* event beyond the
+  // deadline, leaving now_ past it.
+  Scheduler sched;
+  bool late_fired = false;
+  EventHandle head =
+      sched.schedule_at(TimePoint::at_seconds(1), [] { FAIL(); });
+  sched.schedule_at(TimePoint::at_seconds(5), [&] { late_fired = true; });
+  head.cancel();
+  sched.run_until(TimePoint::at_seconds(2));
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 2.0);
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Scheduler, RunUntilDrainsConsecutiveCancelledHeads) {
+  Scheduler sched;
+  std::vector<EventHandle> handles;
+  for (double t : {0.5, 0.6, 0.7}) {
+    handles.push_back(
+        sched.schedule_at(TimePoint::at_seconds(t), [] { FAIL(); }));
+  }
+  bool fired = false;
+  sched.schedule_at(TimePoint::at_seconds(1), [&] { fired = true; });
+  for (EventHandle& h : handles) h.cancel();
+  sched.run_until(TimePoint::at_seconds(3));
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sched.now().sec(), 3.0);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(Scheduler, DuplicateCancelIsIdempotent) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h =
+      sched.schedule_at(TimePoint::at_seconds(1), [&] { fired = true; });
+  EventHandle copy = h;
+  h.cancel();
+  copy.cancel();  // second cancel of the same event: no-op
+  h.cancel();
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(copy.pending());
+}
+
+TEST(Scheduler, HandleOutlivingSchedulerDegradesToNoop) {
+  EventHandle h;
+  {
+    Scheduler sched;
+    h = sched.schedule_at(TimePoint::at_seconds(1), [] {});
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not touch freed memory
+}
+
 TEST(Scheduler, EventsCanScheduleMoreEvents) {
   Scheduler sched;
   int depth = 0;
