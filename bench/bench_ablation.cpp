@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   bench::Corpus corpus = bench::build_corpus(std::min(opts.pages, 6));
   const web::WebPage& page = *corpus.replayed[0];
   std::printf("page: %zu objects, %.2f MB (replayed)\n\n",
-              page.object_count(), page.total_bytes() / 1048576.0);
+              page.object_count(), static_cast<double>(page.total_bytes()) / 1048576.0);
 
   // A1: suppression.
   {

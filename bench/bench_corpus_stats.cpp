@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
               util::format_bytes((long long)util::percentile(object_sizes, 80)).c_str(),
               util::format_bytes((long long)util::percentile(object_sizes, 95)).c_str());
   std::printf("post-onload object share: %.1f%% of objects\n",
-              100.0 * post_onload_total / objects_total);
+              100.0 * static_cast<double>(post_onload_total) / static_cast<double>(objects_total));
 
   // §7.3 variability: coefficient of variation of object count across
   // back-to-back "live" loads, before replay normalization freezes it.

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
       ++recovery_n;
     }
   }
-  const double mean_recovery = recovery_n ? recovery_sum / recovery_n : 0.0;
+  const double mean_recovery = recovery_n ? recovery_sum / static_cast<double>(recovery_n) : 0.0;
   const bool crash_planned = plan.proxy_crash_at.has_value();
   const bool fallback_exercised = !crash_planned || direct_fetches > 0;
 

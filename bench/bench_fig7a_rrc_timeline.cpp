@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   store.record(live);
   const web::WebPage& page = *store.find(live.main_url().str());
   std::printf("page: %zu objects, %.2f MB (ebay-like)\n", page.object_count(),
-              page.total_bytes() / 1048576.0);
+              static_cast<double>(page.total_bytes()) / 1048576.0);
 
   core::RunConfig cfg = bench::replay_run_config(13);
   core::RunResult dir = core::ExperimentRunner::run(core::Scheme::kDir, page, cfg);

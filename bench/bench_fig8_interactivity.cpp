@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   core::RunConfig base = bench::replay_run_config(17);
 
   std::printf("page: %zu objects, %.2f MB; click every %.0f s\n",
-              page.object_count(), page.total_bytes() / 1048576.0,
+              page.object_count(), static_cast<double>(page.total_bytes()) / 1048576.0,
               kClickSpacing);
   std::printf("cells are cumulative radio J / total device J (screen excluded)\n\n");
 

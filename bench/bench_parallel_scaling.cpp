@@ -21,6 +21,7 @@
 namespace {
 
 using namespace parcel;
+// parcel-lint: allow(nondet-time) wall-clock is the measurement here: this bench times real thread scaling, not simulated time
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {

@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   const web::WebPage* pages[] = {&p1, &p2, &p3};
   std::printf("pages: %zu / %zu / %zu objects, %.2f / %.2f / %.2f MB\n\n",
               p1.object_count(), p2.object_count(), p3.object_count(),
-              p1.total_bytes() / 1048576.0, p2.total_bytes() / 1048576.0,
-              p3.total_bytes() / 1048576.0);
+              static_cast<double>(p1.total_bytes()) / 1048576.0, static_cast<double>(p2.total_bytes()) / 1048576.0,
+              static_cast<double>(p3.total_bytes()) / 1048576.0);
 
   auto run_pages = [&](auto&& loader, core::Testbed& testbed) {
     std::vector<PageMetrics> out;

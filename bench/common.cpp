@@ -87,6 +87,7 @@ BenchOptions parse_options(int argc, char** argv) {
       }
     }
   }
+  // parcel-lint: allow(nondet-getenv) sanctioned bench toggle; the seed is echoed into BENCH_*.json so every run stays reproducible
   if (const char* env = std::getenv("PARCEL_FAULT_SEED")) {
     char* end = nullptr;
     errno = 0;

@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# Minimal CI: Release build + full test suite, a parse-cache smoke, then
-# a ThreadSanitizer build that runs the parallel-runner and parse-cache
-# tests to prove the fan-out is race-free, and an AddressSanitizer build
-# that runs the full suite to prove the zero-copy string_view plumbing
-# never dangles. Usage: ./ci.sh [jobs]
+# Minimal CI: Release build (warnings are errors tree-wide) + full test
+# suite, the parcel-lint determinism gate, a parse-cache smoke, then a
+# ThreadSanitizer build that runs the parallel-runner and parse-cache
+# tests to prove the fan-out is race-free, an AddressSanitizer build that
+# runs the full suite to prove the zero-copy string_view plumbing never
+# dangles, and an UndefinedBehaviorSanitizer build (-fno-sanitize-recover:
+# first report aborts) over the full suite. Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
 
-echo "==> Release build + ctest"
+echo "==> Release build + ctest (includes the parcel_lint_tree gate)"
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "==> parcel-lint: tree must be clean, seeded violation must fail"
+./build-ci/tools/parcel-lint/parcel-lint --config lint.rules --root . src bench
+rc=0
+./build-ci/tools/parcel-lint/parcel-lint --root tests/lint_fixtures \
+  nondet_random_bad.cpp > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "parcel-lint exit code on seeded violation fixture: $rc (want 1)"
+  exit 1
+fi
+echo "parcel-lint correctly rejects the seeded violation fixture (exit 1)"
 
 echo "==> Scheduler allocation regression + microbenchmarks (smoke)"
 # (no --benchmark_min_time: the flag's value syntax changed across
@@ -50,5 +63,11 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target parcel_tests
 ./build-asan/tests/parcel_tests
+
+echo "==> UndefinedBehaviorSanitizer: full suite (first UB report aborts)"
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPARCEL_SANITIZE=undefined
+cmake --build build-ubsan -j "$JOBS" --target parcel_tests
+./build-ubsan/tests/parcel_tests
 
 echo "==> CI green"

@@ -38,6 +38,7 @@ void BrowserEngine::preload_cache(const FetchCache& c) {
   if (load_started_) {
     throw std::logic_error(name_ + ": preload_cache after load()");
   }
+  // parcel-lint: allow(unordered-iter) bulk insert hash-map -> hash-map: the destination is order-insensitive, so no ordering escapes
   cache_.insert(c.begin(), c.end());
 }
 

@@ -30,7 +30,9 @@ std::string normalize_path(std::string_view path) {
     out += "/";
     out += std::string(seg);
   }
-  if (out.empty()) out = "/";
+  // push_back, not = "/": assigning a literal here trips a GCC 12
+  // -Wrestrict false positive (PR105329) once inlined into resolve().
+  if (out.empty()) out.push_back('/');
   return out;
 }
 
@@ -95,7 +97,8 @@ Url Url::parse(std::string_view text) {
     u.path_ = std::string(rest.substr(0, query_start));
     u.query_ = std::string(rest.substr(query_start + 1));
   }
-  if (u.path_.empty()) u.path_ = "/";
+  // push_back, not = "/": see normalize_path (GCC 12 -Wrestrict FP).
+  if (u.path_.empty()) u.path_.push_back('/');
   u.refresh_ids();
   return u;
 }

@@ -10,6 +10,7 @@ namespace parcel::web {
 namespace {
 
 bool initial_enabled() {
+  // parcel-lint: allow(nondet-getenv) kill-switch read once at startup; cache on/off is bitwise-identical by test, so replay is unaffected
   const char* env = std::getenv("PARCEL_PARSE_CACHE");
   return env == nullptr || std::strcmp(env, "0") != 0;
 }

@@ -1,0 +1,5 @@
+// Fixture: float arithmetic in an accounting path.
+double bad_energy(double joules) {
+  float scale = 0.5f;                     // line 3
+  return joules * static_cast<double>(scale);
+}

@@ -1,0 +1,6 @@
+// Fixture: double end-to-end; "float" appears only in comment and string.
+double ok_energy(double joules) {
+  const char* unit = "float-free joules";
+  double scale = 0.5;  // never float in accounting code
+  return joules * scale + (unit != nullptr ? 0.0 : 1.0);
+}

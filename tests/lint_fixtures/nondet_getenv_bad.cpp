@@ -1,0 +1,6 @@
+// Fixture: environment read outside the sanctioned directories.
+#include <cstdlib>
+
+bool bad_toggle() {
+  return std::getenv("SOME_TOGGLE") != nullptr;  // line 5
+}

@@ -1,0 +1,10 @@
+// Fixture: every nondeterministic random source the rule must catch.
+#include <cstdlib>
+#include <random>
+
+int bad_seed() {
+  std::random_device rd;          // line 6: random_device
+  int a = static_cast<int>(rd());
+  srand(42);                      // line 8: srand()
+  return a + rand();              // line 9: rand()
+}

@@ -1,0 +1,13 @@
+// Fixture: things that look like random calls but are not.
+struct Rng {
+  int rand() const { return 4; }
+};
+
+int ok_seed(const Rng& rng, const Rng* p) {
+  int brand(3);              // identifier merely containing "rand"
+  int x = rng.rand();        // member call on a project type
+  int y = p->rand();         // ditto via pointer
+  // rand() in a comment is not code; "rand()" in a string is data:
+  const char* s = "call rand() later";
+  return brand + x + y + (s != nullptr ? 1 : 0);
+}

@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads the rule must catch.
+#include <chrono>
+#include <ctime>
+
+long bad_clock() {
+  auto t0 = std::chrono::steady_clock::now();          // line 6
+  auto t1 = std::chrono::system_clock::now();          // line 7
+  auto t2 = std::chrono::high_resolution_clock::now(); // line 8
+  std::time_t wall = std::time(nullptr);               // line 9
+  (void)t0;
+  (void)t1;
+  (void)t2;
+  return static_cast<long>(wall) + static_cast<long>(clock());  // line 13
+}

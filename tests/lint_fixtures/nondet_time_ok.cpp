@@ -1,0 +1,14 @@
+// Fixture: time-like names that are deterministic project code.
+struct Trace {
+  double time() const { return 1.0; }
+  double first_time() const { return 0.0; }
+};
+
+double ok_clock(const Trace& trace, const Trace* p) {
+  double a = trace.time();       // member call, not ::time()
+  double b = p->time();          // ditto via pointer
+  double c = trace.first_time(); // suffix match must not fire
+  // steady_clock in a comment is fine; so is "system_clock" in a string.
+  const char* s = "system_clock";
+  return a + b + c + (s != nullptr ? 1.0 : 0.0);
+}

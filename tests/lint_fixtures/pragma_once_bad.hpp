@@ -1,0 +1,10 @@
+// Fixture: header without #pragma once (classic include-guard instead,
+// which the project style forbids).
+#ifndef PRAGMA_ONCE_BAD_HPP
+#define PRAGMA_ONCE_BAD_HPP
+
+struct Guarded {
+  int x = 0;
+};
+
+#endif

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: comments before the pragma are fine; it must just be the
+// first *code* in the file — and here it is.
+
+struct Clean {
+  int x = 0;
+};

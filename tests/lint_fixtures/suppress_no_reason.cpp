@@ -1,0 +1,8 @@
+// Fixture: an allow() without a reason must NOT suppress, and is itself
+// reported as lint-suppression.
+#include <ctime>
+
+long unexplained() {
+  // parcel-lint: allow(nondet-time)
+  return static_cast<long>(std::time(nullptr));
+}

@@ -1,0 +1,11 @@
+// Fixture: both suppression placements with reasons — standalone line
+// covering the next line, and trailing on the offending line itself.
+#include <cstdlib>
+#include <ctime>
+
+long suppressed() {
+  // parcel-lint: allow(nondet-time) fixture exercises the standalone placement
+  long wall = static_cast<long>(std::time(nullptr));
+  long r = rand();  // parcel-lint: allow(nondet-random) fixture exercises the trailing placement
+  return wall + r;
+}

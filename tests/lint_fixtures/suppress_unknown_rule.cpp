@@ -1,0 +1,8 @@
+// Fixture: a typo'd rule id in allow() is a hard error (exit 2) — the
+// suppression the author meant would otherwise silently not apply.
+#include <ctime>
+
+long typo() {
+  // parcel-lint: allow(nondet-tyme) oops, rule id misspelled
+  return static_cast<long>(std::time(nullptr));
+}

@@ -1,0 +1,9 @@
+// Fixture: iterates a member whose unordered declaration is only visible
+// in the companion header (unordered_hdr.hpp).
+#include "unordered_hdr.hpp"
+
+long Ledger::total() const {
+  long sum = 0;
+  for (const auto& [id, v] : balances_) sum += v;  // line 7
+  return sum;
+}

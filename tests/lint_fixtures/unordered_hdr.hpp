@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: the unordered member lives in the header; the companion .cpp
+// iterates it.  The analyzer must join the two.
+#include <unordered_map>
+
+class Ledger {
+ public:
+  long total() const;
+
+ private:
+  std::unordered_map<int, long> balances_;
+};

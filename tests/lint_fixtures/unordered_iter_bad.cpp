@@ -1,0 +1,18 @@
+// Fixture: iteration over unordered containers, every form the rule
+// must catch: range-for, explicit begin(), and via a using-alias.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Index = std::unordered_map<int, std::string>;
+
+int bad_iteration() {
+  std::unordered_set<int> ids = {1, 2, 3};
+  Index index;
+  std::vector<int> out;
+  for (int id : ids) out.push_back(id);            // line 14: range-for
+  for (const auto& [k, v] : index) out.push_back(k);  // line 15: via alias
+  auto it = ids.begin();                           // line 16: iterator walk
+  return static_cast<int>(out.size()) + *it;
+}

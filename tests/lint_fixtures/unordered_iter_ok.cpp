@@ -1,0 +1,19 @@
+// Fixture: unordered containers used safely (lookups only), and
+// iteration over ordered containers.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int ok_iteration() {
+  std::unordered_map<int, std::string> cache;
+  std::map<int, std::string> ordered;
+  std::vector<int> list = {1, 2, 3};
+  int n = 0;
+  // find()/end() lookup never observes iteration order:
+  if (cache.find(1) != cache.end()) ++n;
+  if (cache.count(2) > 0) ++n;
+  for (const auto& [k, v] : ordered) n += k;  // ordered map is fine
+  for (int x : list) n += x;                  // vector is fine
+  return n;
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: `using namespace` at header scope leaks into every includer.
+#include <string>
+
+using namespace std;  // line 5
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: qualified names and using-declarations of single names are
+// fine; only `using namespace` is banned in headers.
+#include <string>
+
+inline std::string shout(const std::string& s) { return s + "!"; }

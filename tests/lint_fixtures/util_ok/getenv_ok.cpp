@@ -1,0 +1,7 @@
+// Fixture: same env read, but this directory is exempted by the config
+// under test (exempt nondet-getenv = util_ok).
+#include <cstdlib>
+
+bool sanctioned_toggle() {
+  return std::getenv("PARCEL_TOGGLE") != nullptr;
+}

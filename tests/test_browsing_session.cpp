@@ -52,7 +52,9 @@ TEST(FollowPage, SharesFrameworkAndAddsFreshImages) {
   // Shared objects are byte-identical (same content pointers or sizes).
   for (const web::WebObject* obj : pages.second->objects()) {
     const web::WebObject* orig = pages.first->find(obj->url);
-    if (orig != nullptr) EXPECT_EQ(orig->size, obj->size);
+    if (orig != nullptr) {
+      EXPECT_EQ(orig->size, obj->size);
+    }
   }
 }
 

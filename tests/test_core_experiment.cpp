@@ -100,7 +100,7 @@ TEST(ExperimentRunner, SchemeNamesAndHelpers) {
   EXPECT_TRUE(is_parcel(Scheme::kParcelOnld));
   EXPECT_FALSE(is_parcel(Scheme::kDir));
   EXPECT_EQ(bundle_for(Scheme::kParcel1M).threshold, util::mib(1));
-  EXPECT_THROW(bundle_for(Scheme::kDir), std::invalid_argument);
+  EXPECT_THROW((void)bundle_for(Scheme::kDir), std::invalid_argument);
 }
 
 TEST(RunRounds, FiltersAndAggregates) {

@@ -103,9 +103,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PageCase{101, 0}, PageCase{101, 1}, PageCase{101, 2},
                       PageCase{202, 0}, PageCase{202, 1}, PageCase{303, 0},
                       PageCase{303, 1}, PageCase{404, 0}),
-    [](const ::testing::TestParamInfo<PageCase>& info) {
-      return "seed" + std::to_string(info.param.corpus_seed) + "_page" +
-             std::to_string(info.param.index);
+    [](const ::testing::TestParamInfo<PageCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.corpus_seed) + "_page" +
+             std::to_string(tpi.param.index);
     });
 
 /// Analytical-model property sweep: b* = alpha*sqrt(sB) and E(n*) is a
@@ -143,9 +143,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModelCase{2, 1}, ModelCase{2, 4}, ModelCase{4, 2},
                       ModelCase{6, 2}, ModelCase{6, 5}, ModelCase{8, 1},
                       ModelCase{8, 4}, ModelCase{12, 3}),
-    [](const ::testing::TestParamInfo<ModelCase>& info) {
-      return "mbps" + std::to_string(static_cast<int>(info.param.mbps)) +
-             "_mb" + std::to_string(static_cast<int>(info.param.megabytes));
+    [](const ::testing::TestParamInfo<ModelCase>& tpi) {
+      return "mbps" + std::to_string(static_cast<int>(tpi.param.mbps)) +
+             "_mb" + std::to_string(static_cast<int>(tpi.param.megabytes));
     });
 
 }  // namespace

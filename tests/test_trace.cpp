@@ -76,7 +76,7 @@ TEST(PacketTrace, SerializeRoundTrip) {
 TEST(PacketTrace, EmptyTraceEdgeCases) {
   PacketTrace trace;
   EXPECT_TRUE(trace.empty());
-  EXPECT_THROW(trace.first_time(), std::logic_error);
+  EXPECT_THROW((void)trace.first_time(), std::logic_error);
   EXPECT_FALSE(trace.first_syn_time().has_value());
 }
 

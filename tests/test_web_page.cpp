@@ -66,12 +66,12 @@ TEST(WebPage, AggregatesSizesAndDomains) {
 
 TEST(WebPage, MissingMainThrows) {
   WebPage page(net::Url::parse("http://a.example/"));
-  EXPECT_THROW(page.main(), std::logic_error);
+  EXPECT_THROW((void)page.main(), std::logic_error);
 }
 
 TEST(WebObject, TextRequiresContent) {
   WebObject obj = make_object("http://a.example/i.jpg", ObjectType::kImage, 9);
-  EXPECT_THROW(obj.text(), std::logic_error);
+  EXPECT_THROW((void)obj.text(), std::logic_error);
   WebObject js = make_object("http://a.example/a.js", ObjectType::kJs, 0,
                              "compute(1);");
   EXPECT_EQ(js.text(), "compute(1);");

@@ -1,0 +1,139 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace parcel::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Repo-relative path with forward slashes, for scoping and reporting.
+std::string rel_str(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::string config_path;
+  std::string root = ".";
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--config" || a == "--root") {
+      if (i + 1 >= args.size()) {
+        err << "parcel-lint: " << a << " needs an argument\n";
+        return 2;
+      }
+      (a == "--config" ? config_path : root) = args[++i];
+    } else if (a == "--help" || a == "-h") {
+      out << "usage: parcel-lint [--config lint.rules] [--root DIR] "
+             "<file-or-dir>...\n"
+             "exit codes: 0 clean, 1 findings, 2 usage/config error\n";
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      err << "parcel-lint: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    err << "parcel-lint: no files or directories given\n";
+    return 2;
+  }
+
+  Config config;
+  if (config_path.empty()) {
+    // Default: lint.rules next to --root if present; built-in defaults
+    // (every rule on, no scoping) otherwise.
+    const fs::path candidate = fs::path(root) / "lint.rules";
+    if (fs::exists(candidate)) config_path = candidate.string();
+  }
+  if (!config_path.empty()) {
+    std::string error;
+    if (!load_config(config_path, config, error)) {
+      err << "parcel-lint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<fs::path> files;
+  for (const std::string& in : inputs) {
+    fs::path p(in);
+    if (p.is_relative()) p = root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      err << "parcel-lint: no such file or directory: " << in << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t finding_count = 0;
+  bool hard_error = false;
+  for (const fs::path& file : files) {
+    std::string source;
+    if (!read_file(file, source)) {
+      err << "parcel-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    // A .cpp is linted together with its sibling header so containers
+    // declared in the class body are known when the .cpp iterates them.
+    std::string header;
+    const std::string* header_ptr = nullptr;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path sibling = file;
+      sibling.replace_extension(".hpp");
+      if (fs::exists(sibling) && read_file(sibling, header)) {
+        header_ptr = &header;
+      }
+    }
+    FileReport rep =
+        lint_source(rel_str(file, root_path), source, config, header_ptr);
+    for (const std::string& e : rep.errors) {
+      err << "parcel-lint: error: " << e << "\n";
+      hard_error = true;
+    }
+    for (const Finding& f : rep.findings) {
+      out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+          << "\n";
+      ++finding_count;
+    }
+  }
+  if (hard_error) return 2;
+  out << "parcel-lint: " << finding_count << " finding(s) in " << files.size()
+      << " file(s)\n";
+  return finding_count == 0 ? 0 : 1;
+}
+
+}  // namespace parcel::lint

@@ -1,0 +1,109 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace parcel::lint {
+
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "nondet-random",        // std::random_device, rand(), srand(), ...
+      "nondet-time",          // time(), clock(), std::chrono wall clocks
+      "nondet-getenv",        // getenv outside sanctioned directories
+      "unordered-iter",       // iterating unordered containers in
+                              // result/trace-affecting TUs
+      "header-pragma-once",   // headers must open with #pragma once
+      "header-using-namespace",  // no `using namespace` in headers
+      "float-double-drift",   // float in energy/byte accounting paths
+      "lint-suppression",     // malformed/unexplained allow(...) comments
+  };
+  return kIds;
+}
+
+bool is_known_rule(const std::string& id) {
+  const auto& ids = all_rule_ids();
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+bool Config::applies(const std::string& rule,
+                     const std::string& rel_path) const {
+  auto it = rules.find(rule);
+  const RuleConfig def;
+  const RuleConfig& rc = it == rules.end() ? def : it->second;
+  if (!rc.enabled) return false;
+  auto has_prefix = [&](const std::string& prefix) {
+    return rel_path.rfind(prefix, 0) == 0;
+  };
+  if (!rc.scope.empty() &&
+      std::none_of(rc.scope.begin(), rc.scope.end(), has_prefix)) {
+    return false;
+  }
+  return std::none_of(rc.exempt.begin(), rc.exempt.end(), has_prefix);
+}
+
+bool parse_config(const std::string& text, Config& out, std::string& error) {
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    auto hash = raw.find('#');
+    std::string body = hash == std::string::npos ? raw : raw.substr(0, hash);
+    std::istringstream ls(body);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank / comment-only line
+    std::string id, eq;
+    if (!(ls >> id >> eq) || eq != "=") {
+      error = "lint.rules:" + std::to_string(lineno) +
+              ": expected '<verb> <rule> = ...', got '" + raw + "'";
+      return false;
+    }
+    if (!is_known_rule(id)) {
+      error = "lint.rules:" + std::to_string(lineno) + ": unknown rule '" +
+              id + "'";
+      return false;
+    }
+    RuleConfig& rc = out.rules[id];  // default-constructs enabled rule
+    if (verb == "rule") {
+      std::string state;
+      if (!(ls >> state) || (state != "on" && state != "off")) {
+        error = "lint.rules:" + std::to_string(lineno) +
+                ": 'rule " + id + " =' needs 'on' or 'off'";
+        return false;
+      }
+      rc.enabled = state == "on";
+    } else if (verb == "scope" || verb == "exempt") {
+      std::vector<std::string>& dst = verb == "scope" ? rc.scope : rc.exempt;
+      std::string path;
+      bool any = false;
+      while (ls >> path) {
+        dst.push_back(path);
+        any = true;
+      }
+      if (!any) {
+        error = "lint.rules:" + std::to_string(lineno) + ": '" + verb + " " +
+                id + " =' needs at least one path prefix";
+        return false;
+      }
+    } else {
+      error = "lint.rules:" + std::to_string(lineno) + ": unknown verb '" +
+              verb + "' (expected rule/scope/exempt)";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool load_config(const std::string& path, Config& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open config file '" + path + "'";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_config(ss.str(), out, error);
+}
+
+}  // namespace parcel::lint

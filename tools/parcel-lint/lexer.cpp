@@ -1,0 +1,149 @@
+#include "lint.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace parcel::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parse the body of a comment looking for the suppression grammar
+//   parcel-lint: allow(<rule>) <reason...>
+// Leading/trailing whitespace in <reason> is trimmed; the reason may be
+// empty (which rules.cpp reports as an unexplained suppression).
+void scan_comment(const std::string& body, int line,
+                  std::vector<Suppression>& out) {
+  const std::string kTag = "parcel-lint:";
+  auto tag = body.find(kTag);
+  if (tag == std::string::npos) return;
+  std::size_t p = tag + kTag.size();
+  while (p < body.size() && std::isspace(static_cast<unsigned char>(body[p])))
+    ++p;
+  const std::string kAllow = "allow(";
+  if (body.compare(p, kAllow.size(), kAllow) != 0) return;
+  p += kAllow.size();
+  auto close = body.find(')', p);
+  if (close == std::string::npos) return;
+  Suppression s;
+  s.rule = body.substr(p, close - p);
+  std::size_t r = close + 1;
+  while (r < body.size() && std::isspace(static_cast<unsigned char>(body[r])))
+    ++r;
+  std::size_t e = body.size();
+  while (e > r && std::isspace(static_cast<unsigned char>(body[e - 1]))) --e;
+  s.reason = body.substr(r, e - r);
+  s.line = line;
+  s.standalone = false;  // fixed up by the caller
+  out.push_back(s);
+}
+
+}  // namespace
+
+LexOutput lex(const std::string& src) {
+  LexOutput out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  // Lines that carry a comment but (maybe) no token; used to decide
+  // whether a suppression comment stands alone on its line.
+  std::set<int> comment_lines;
+
+  auto count_lines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k)
+      if (src[k] == '\n') ++line;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_comment(src.substr(i + 2, end - i - 2), line, out.suppressions);
+      comment_lines.insert(line);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      scan_comment(src.substr(i + 2, end - i - 2), line, out.suppressions);
+      comment_lines.insert(line);
+      count_lines(i, end);
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t open = src.find('(', i + 2);
+      if (open != std::string::npos) {
+        std::string delim = src.substr(i + 2, open - i - 2);
+        std::string close = ")" + delim + "\"";
+        std::size_t end = src.find(close, open + 1);
+        if (end == std::string::npos) end = n;
+        out.tokens.push_back({TokenKind::kString, "", line});
+        out.code_lines.insert(line);
+        count_lines(i, end);
+        i = end == n ? n : end + close.size();
+        continue;
+      }
+    }
+    // String / char literal (contents dropped; escapes honoured).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokenKind::kString : TokenKind::kChar, "", line});
+      out.code_lines.insert(line);
+      i = j == n ? n : j + 1;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdentifier, src.substr(i, j - i), line});
+      out.code_lines.insert(line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.')) ++j;
+      out.tokens.push_back({TokenKind::kNumber, src.substr(i, j - i), line});
+      out.code_lines.insert(line);
+      i = j;
+      continue;
+    }
+    out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    out.code_lines.insert(line);
+    ++i;
+  }
+
+  for (Suppression& s : out.suppressions) {
+    s.standalone = out.code_lines.count(s.line) == 0;
+  }
+  return out;
+}
+
+}  // namespace parcel::lint

@@ -1,0 +1,128 @@
+#pragma once
+// parcel-lint: a deliberately small, dependency-free static analyzer that
+// enforces the repo's determinism and hygiene invariants at CI time.
+//
+// The replay pipeline (DESIGN.md §5) promises bitwise-identical RunResult
+// and PacketTrace output across jobs=1/2/4 and across fault-seed replays.
+// That promise is trivially broken by a stray wall-clock read, an
+// std::random_device, or iteration order leaking out of an unordered
+// container — none of which the compiler objects to.  parcel-lint
+// tokenizes every translation unit and rejects those constructs before
+// they can turn into a flaky grid test.
+//
+// The analyzer is intentionally token-based, not AST-based: it must build
+// in seconds with no external dependencies, run on every CI invocation,
+// and be auditable by reading one file.  Precision comes from the rule
+// scoping in lint.rules plus the inline suppression grammar
+//   // parcel-lint: allow(<rule>) <reason>
+// rather than from type resolution.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parcel::lint {
+
+// ---------------------------------------------------------------------------
+// Tokens
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kString,      // string literal (contents dropped)
+  kChar,        // character literal (contents dropped)
+  kPunct,       // one punctuation character
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // empty for kString/kChar
+  int line;          // 1-based
+};
+
+// One inline suppression comment: `parcel-lint: allow(<rule>) <reason>`.
+struct Suppression {
+  std::string rule;
+  std::string reason;  // empty reason is itself a finding
+  int line;            // line the comment appears on
+  bool standalone;     // comment is the only thing on its line -> also
+                       // covers the next line
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::set<int> code_lines;  // lines that carry at least one token
+};
+
+// Tokenize C++ source: comments, string/char literals (incl. raw strings)
+// are recognized and their contents never reach rule matching.
+LexOutput lex(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Rules & configuration
+
+// Every rule the analyzer knows.  Adding a rule means: add the id here,
+// implement it in rules.cpp, add a positive and a negative fixture, and
+// document it in DESIGN.md §9.
+const std::vector<std::string>& all_rule_ids();
+bool is_known_rule(const std::string& id);
+
+struct RuleConfig {
+  bool enabled = true;
+  // If non-empty, the rule only applies to files whose repo-relative path
+  // starts with one of these prefixes.
+  std::vector<std::string> scope;
+  // Files whose path starts with one of these prefixes are exempt.
+  std::vector<std::string> exempt;
+};
+
+struct Config {
+  std::map<std::string, RuleConfig> rules;  // keyed by rule id
+
+  bool applies(const std::string& rule, const std::string& rel_path) const;
+};
+
+// Parse a lint.rules file.  Returns false and fills `error` on malformed
+// input or unknown rule ids (typos must fail the build, not silently
+// disable a gate).
+bool parse_config(const std::string& text, Config& out, std::string& error);
+bool load_config(const std::string& path, Config& out, std::string& error);
+
+// ---------------------------------------------------------------------------
+// Findings
+
+struct Finding {
+  std::string path;  // repo-relative
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  // Hard errors (unknown rule id inside an allow(...) comment): these are
+  // not suppressible and map to exit code 2.
+  std::vector<std::string> errors;
+};
+
+// Lint one file's contents.  `rel_path` is the path used for scoping and
+// reporting; `companion_header` is the already-lexed sibling .hpp of a
+// .cpp (so member containers declared in the header are known when the
+// .cpp iterates them), or nullptr.
+FileReport lint_source(const std::string& rel_path, const std::string& source,
+                       const Config& config,
+                       const std::string* companion_header_source);
+
+// ---------------------------------------------------------------------------
+// CLI
+
+// argv-style entry point (without argv[0]).  Returns the process exit
+// code: 0 clean, 1 findings, 2 usage/config/IO error.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace parcel::lint
