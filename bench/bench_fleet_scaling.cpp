@@ -1,0 +1,240 @@
+// Fleet-scale serving benchmark (ISSUE 5): what happens when K clients
+// hit one PARCEL proxy?
+//
+// Two curves, both seeded end-to-end (no wall clocks — every number here
+// is simulated and bit-reproducible):
+//
+//  * Cache amplification — an uncontended worker pool over a repeated
+//    corpus (K a multiple of the page count): the shared object store
+//    must make aggregate origin-facing proxy work (fetch + parse seconds)
+//    per page load strictly decrease as K grows.
+//
+//  * Queueing knee — a constrained pool (--workers, default 2) with a
+//    bounded admission queue under a bursty arrival process: p95
+//    fleet-adjusted OLT must degrade measurably as offered load passes
+//    the workers, and the admission controller must shed at the top K.
+//
+// Every fleet run is executed at --jobs 1 and --jobs 4 and the full
+// per-client results are compared bitwise; the emitted BENCH_fleet.json
+// is identical for any --jobs value and across reruns with the same
+// seeds.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "web/parse_cache.hpp"
+
+namespace {
+
+using namespace parcel;
+
+bool fleet_identical(const fleet::FleetMetrics& a,
+                     const fleet::FleetMetrics& b) {
+  if (a.clients.size() != b.clients.size() || a.admitted != b.admitted ||
+      a.shed != b.shed) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const fleet::FleetClientResult& x = a.clients[i];
+    const fleet::FleetClientResult& y = b.clients[i];
+    // Bitwise: no tolerance anywhere (the determinism bar).
+    if (x.shed != y.shed || x.queue_wait.sec() != y.queue_wait.sec() ||
+        x.olt.sec() != y.olt.sec() || x.tlt.sec() != y.tlt.sec() ||
+        x.session.olt.sec() != y.session.olt.sec() ||
+        x.session.radio.total.j() != y.session.radio.total.j() ||
+        x.session.downlink_bytes != y.session.downlink_bytes) {
+      return false;
+    }
+  }
+  return a.olt_p95 == b.olt_p95 && a.wait_p95 == b.wait_p95 &&
+         a.fetch_parse_sec == b.fetch_parse_sec &&
+         a.store.hits == b.store.hits && a.store.misses == b.store.misses &&
+         a.store.bytes_saved == b.store.bytes_saved &&
+         a.compute.completed == b.compute.completed;
+}
+
+struct LevelRow {
+  int k = 0;
+  fleet::FleetMetrics metrics;
+};
+
+/// Run one fleet config at jobs=1 and jobs=4; assert identity; return the
+/// jobs=1 result.
+fleet::FleetMetrics run_level(const std::vector<const web::WebPage*>& corpus,
+                              fleet::FleetConfig cfg, bool& identical) {
+  cfg.jobs = 1;
+  fleet::FleetMetrics serial = fleet::run_fleet(corpus, cfg);
+  cfg.jobs = 4;
+  fleet::FleetMetrics parallel = fleet::run_fleet(corpus, cfg);
+  if (!fleet_identical(serial, parallel)) identical = false;
+  return serial;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_header("Fleet scaling",
+                      "shared-store amplification + proxy queueing knee");
+
+  // A small repeated corpus: K cycles round-robin over these pages, so
+  // every level past K = pages re-requests content the store has seen.
+  constexpr int kPages = 4;
+  bench::Corpus corpus = bench::build_corpus(kPages);
+  const std::vector<const web::WebPage*>& pages = corpus.replayed;
+
+  int max_clients = opts.quick ? std::min(opts.clients, 16) : opts.clients;
+  std::vector<int> levels;
+  for (int k = kPages; k <= max_clients; k *= 2) levels.push_back(k);
+  if (levels.empty()) levels.push_back(max_clients);
+
+  std::printf("corpus: %d pages (round-robin), scheme PARCEL(IND), "
+              "arrival seed %llu, faults %s\n",
+              kPages,
+              static_cast<unsigned long long>(opts.arrival_seed),
+              opts.faults.enabled() ? opts.faults.str().c_str() : "off");
+
+  bool identical = true;
+
+  // ---- Curve 1: cache amplification (uncontended pool, no admission
+  // bound — isolate the store effect from queueing).
+  fleet::FleetConfig amp_cfg;
+  amp_cfg.scheme = core::Scheme::kParcelInd;
+  amp_cfg.arrival_seed = opts.arrival_seed;
+  amp_cfg.mean_interarrival = util::Duration::millis(100);
+  amp_cfg.compute.workers = 8;
+  amp_cfg.compute.max_queue = 0;
+  amp_cfg.base = bench::replay_run_config(42);
+
+  std::printf("\n-- cache amplification (workers=8, unbounded queue)\n");
+  std::vector<LevelRow> amp;
+  for (int k : levels) {
+    // A fresh parse cache per level so micro-run wall costs don't leak
+    // between levels (results are identical either way).
+    web::ParseCache::instance().clear();
+    fleet::FleetConfig cfg = amp_cfg;
+    cfg.clients = k;
+    LevelRow row;
+    row.k = k;
+    row.metrics = run_level(pages, cfg, identical);
+    std::printf("  K=%-3d  fetch+parse %.3fs/load  store hit rate %.2f  "
+                "bytes saved %lld\n",
+                k, row.metrics.fetch_parse_sec_per_load(),
+                row.metrics.store.hit_rate(),
+                static_cast<long long>(row.metrics.store.bytes_saved));
+    amp.push_back(std::move(row));
+  }
+  bool amplification_ok = true;
+  for (std::size_t i = 1; i < amp.size(); ++i) {
+    if (amp[i].metrics.fetch_parse_sec_per_load() >=
+        amp[i - 1].metrics.fetch_parse_sec_per_load()) {
+      amplification_ok = false;
+    }
+  }
+  std::printf("  per-load proxy work strictly decreasing with K: %s\n",
+              amplification_ok ? "yes" : "NO");
+
+  // ---- Curve 2: queueing knee (constrained pool, bounded backlog, bursty
+  // arrivals). Bundle assembly is priced at a slow compression-grade rate
+  // so even store-warm loads keep offering real work: offered load then
+  // scales with K and passes the two workers, which is the knee.
+  fleet::FleetConfig knee_cfg;
+  knee_cfg.scheme = core::Scheme::kParcelInd;
+  knee_cfg.arrival_seed = opts.arrival_seed;
+  knee_cfg.mean_interarrival = util::Duration::millis(2);
+  knee_cfg.compute.workers = opts.workers;
+  knee_cfg.compute.max_queue = 0;
+  knee_cfg.compute.max_backlog = util::Duration::seconds(2.2);
+  knee_cfg.compute.costs.bundle_bytes_per_sec = 10e6;
+  knee_cfg.base = bench::replay_run_config(42);
+
+  std::printf("\n-- queueing knee (workers=%d, max backlog %.1fs, 2 ms mean "
+              "inter-arrival)\n",
+              knee_cfg.compute.workers,
+              knee_cfg.compute.max_backlog.sec());
+  std::vector<LevelRow> knee;
+  for (int k : levels) {
+    web::ParseCache::instance().clear();
+    fleet::FleetConfig cfg = knee_cfg;
+    cfg.clients = k;
+    LevelRow row;
+    row.k = k;
+    row.metrics = run_level(pages, cfg, identical);
+    std::printf("  K=%-3d  OLT p95 %.3fs  wait p95 %.3fs  shed %.2f "
+                "(%d/%d)\n",
+                k, row.metrics.olt_p95, row.metrics.wait_p95,
+                row.metrics.shed_rate(), row.metrics.shed,
+                row.metrics.shed + row.metrics.admitted);
+    knee.push_back(std::move(row));
+  }
+  double knee_ratio =
+      knee.front().metrics.olt_p95 > 0.0
+          ? knee.back().metrics.olt_p95 / knee.front().metrics.olt_p95
+          : 0.0;
+  bool knee_ok = knee_ratio > 1.1;
+  bool shed_ok = knee.back().metrics.shed > 0;
+  std::printf("  p95 OLT degradation K=%d -> K=%d: %.2fx (%s)\n",
+              knee.front().k, knee.back().k, knee_ratio,
+              knee_ok ? "knee visible" : "NO KNEE");
+  std::printf("  admission shedding at K=%d: %s\n", knee.back().k,
+              shed_ok ? "yes" : "NO");
+  std::printf("\nfleet metrics bitwise-identical across jobs 1/4: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+
+  FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"corpus\": {\"pages\": %d, \"scheme\": "
+               "\"PARCEL(IND)\", \"round_robin\": true},\n", kPages);
+  std::fprintf(json, "  \"arrival_seed\": %llu,\n",
+               static_cast<unsigned long long>(opts.arrival_seed));
+  std::fprintf(json, "  \"faults\": \"%s\",\n",
+               opts.faults.enabled() ? opts.faults.str().c_str() : "off");
+  std::fprintf(json, "  \"clients_levels\": [");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    std::fprintf(json, "%s%d", i ? ", " : "", levels[i]);
+  }
+  std::fprintf(json, "],\n");
+  std::fprintf(json, "  \"amplification\": {\n");
+  std::fprintf(json, "    \"workers\": %d,\n", amp_cfg.compute.workers);
+  for (std::size_t i = 0; i < amp.size(); ++i) {
+    const fleet::FleetMetrics& m = amp[i].metrics;
+    std::fprintf(json,
+                 "    \"K_%d\": {\"fetch_parse_sec_per_load\": %.6f, "
+                 "\"store_hit_rate\": %.4f, \"store_bytes_saved\": %lld, "
+                 "\"admitted\": %d, \"energy_j_mean\": %.4f},\n",
+                 amp[i].k, m.fetch_parse_sec_per_load(), m.store.hit_rate(),
+                 static_cast<long long>(m.store.bytes_saved), m.admitted,
+                 m.energy_j_mean());
+  }
+  std::fprintf(json, "    \"per_load_work_strictly_decreasing\": %s\n  },\n",
+               amplification_ok ? "true" : "false");
+  std::fprintf(json, "  \"knee\": {\n");
+  std::fprintf(json, "    \"workers\": %d,\n    \"max_backlog_sec\": %.2f,\n",
+               knee_cfg.compute.workers,
+               knee_cfg.compute.max_backlog.sec());
+  for (std::size_t i = 0; i < knee.size(); ++i) {
+    const fleet::FleetMetrics& m = knee[i].metrics;
+    std::fprintf(json,
+                 "    \"K_%d\": {\"olt_p50\": %.6f, \"olt_p95\": %.6f, "
+                 "\"olt_p99\": %.6f, \"wait_p95\": %.6f, \"shed_rate\": "
+                 "%.4f, \"admitted\": %d, \"shed\": %d},\n",
+                 knee[i].k, m.olt_p50, m.olt_p95, m.olt_p99, m.wait_p95,
+                 m.shed_rate(), m.admitted, m.shed);
+  }
+  std::fprintf(json, "    \"p95_olt_degradation\": %.4f,\n", knee_ratio);
+  std::fprintf(json, "    \"shed_at_max_k\": %s\n  },\n",
+               shed_ok ? "true" : "false");
+  std::fprintf(json, "  \"deterministic_across_jobs\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fleet.json\n");
+
+  return (identical && amplification_ok && knee_ok && shed_ok) ? 0 : 1;
+}

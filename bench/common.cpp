@@ -30,21 +30,54 @@ Corpus build_corpus(int pages, std::uint64_t seed) {
   return corpus;
 }
 
-namespace {
-
 // Strict positive-integer parse; anything else (garbage, trailing junk,
-// zero, negatives, overflow) is a usage error, not a silent default.
-int parse_positive(const char* flag, const char* text) {
+// zero, negatives, overflow) is rejected, not silently defaulted.
+int parse_positive_int(const char* flag, const char* text) {
   char* end = nullptr;
   errno = 0;
   long v = std::strtol(text, &end, 10);
   if (errno != 0 || end == text || *end != '\0' || v <= 0 || v > 1'000'000) {
-    std::fprintf(stderr,
-                 "error: %s expects a positive integer, got '%s'\n", flag,
-                 text);
-    std::exit(2);
+    throw std::invalid_argument(std::string(flag) +
+                                " expects a positive integer, got '" + text +
+                                "'");
   }
   return static_cast<int>(v);
+}
+
+// Strict unsigned 64-bit parse (seeds; 0 is legal).
+std::uint64_t parse_u64(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' ||
+      (text[0] != '\0' && (text[0] == '-' || text[0] == '+'))) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects an unsigned integer, got '" + text +
+                                "'");
+  }
+  return v;
+}
+
+namespace {
+
+// parse_options keeps the historical CLI contract: a malformed value is a
+// usage error on stderr with exit code 2.
+int parse_positive_or_die(const char* flag, const char* text) {
+  try {
+    return parse_positive_int(flag, text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+std::uint64_t parse_u64_or_die(const char* flag, const char* text) {
+  try {
+    return parse_u64(flag, text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace
@@ -67,12 +100,23 @@ BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pages") == 0) {
-      opts.pages = parse_positive("--pages", flag_value("--pages", argc, argv, i));
+      opts.pages =
+          parse_positive_or_die("--pages", flag_value("--pages", argc, argv, i));
     } else if (std::strcmp(argv[i], "--rounds") == 0) {
-      opts.rounds =
-          parse_positive("--rounds", flag_value("--rounds", argc, argv, i));
+      opts.rounds = parse_positive_or_die(
+          "--rounds", flag_value("--rounds", argc, argv, i));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      opts.jobs = parse_positive("--jobs", flag_value("--jobs", argc, argv, i));
+      opts.jobs =
+          parse_positive_or_die("--jobs", flag_value("--jobs", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      opts.clients = parse_positive_or_die(
+          "--clients", flag_value("--clients", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      opts.workers = parse_positive_or_die(
+          "--workers", flag_value("--workers", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--arrival-seed") == 0) {
+      opts.arrival_seed = parse_u64_or_die(
+          "--arrival-seed", flag_value("--arrival-seed", argc, argv, i));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
       opts.pages = 10;
@@ -89,17 +133,7 @@ BenchOptions parse_options(int argc, char** argv) {
   }
   // parcel-lint: allow(nondet-getenv) sanctioned bench toggle; the seed is echoed into BENCH_*.json so every run stays reproducible
   if (const char* env = std::getenv("PARCEL_FAULT_SEED")) {
-    char* end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (errno != 0 || end == env || *end != '\0') {
-      std::fprintf(stderr,
-                   "error: PARCEL_FAULT_SEED expects an unsigned integer, "
-                   "got '%s'\n",
-                   env);
-      std::exit(2);
-    }
-    opts.faults.seed = v;
+    opts.faults.seed = parse_u64_or_die("PARCEL_FAULT_SEED", env);
   }
   g_fault_plan = opts.faults;
   return opts;

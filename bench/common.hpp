@@ -36,17 +36,31 @@ struct BenchOptions {
   /// (results are bitwise identical either way).
   int jobs = core::default_jobs();
   bool quick = false;
+  /// Fleet knobs (bench_fleet_scaling): concurrent client sessions, proxy
+  /// compute workers, and the arrival-process seed.
+  int clients = 16;
+  int workers = 2;
+  std::uint64_t arrival_seed = 2014;
   /// Fault plan applied to every run config built after parse_options
   /// (see replay_run_config / live_run_config). Off by default, so the
   /// BENCH_*.json baselines stay byte-comparable across builds.
   sim::FaultPlan faults;
 };
 
-/// Parse --pages N / --rounds N / --jobs N / --quick / --faults SPEC from
-/// argv (see sim::FaultPlan::parse for the spec grammar; "off" disables).
-/// The PARCEL_FAULT_SEED environment variable overrides the plan's seed.
+/// Parse --pages N / --rounds N / --jobs N / --clients N / --workers N /
+/// --arrival-seed N / --quick / --faults SPEC from argv (see
+/// sim::FaultPlan::parse for the spec grammar; "off" disables). The
+/// PARCEL_FAULT_SEED environment variable overrides the plan's seed.
 /// Malformed values abort with a clear error on stderr.
 BenchOptions parse_options(int argc, char** argv);
+
+/// Strict flag-value parsers behind parse_options, exposed so tests can
+/// assert the reject-garbage contract without spawning a process. Both
+/// throw std::invalid_argument (naming `flag`) on garbage, trailing
+/// junk, empty strings, out-of-range values, or overflow; parse_options
+/// converts the throw into an exit(2) usage error.
+int parse_positive_int(const char* flag, const char* text);
+std::uint64_t parse_u64(const char* flag, const char* text);
 
 /// Default controlled-replay run configuration (§7.2: no fading in the
 /// controlled comparisons; variability handled by seeds).

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Minimal CI: Release build (warnings are errors tree-wide) + full test
-# suite, the parcel-lint determinism gate, a parse-cache smoke, then a
+# suite, the parcel-lint determinism gate, parse-cache/faulted/fleet
+# smokes, then a
 # ThreadSanitizer build that runs the parallel-runner and parse-cache
 # tests to prove the fan-out is race-free, an AddressSanitizer build that
 # runs the full suite to prove the zero-copy string_view plumbing never
@@ -51,12 +52,22 @@ awk -F': ' '/"all_completed"/ { ok = ($2 ~ /true/) }
                   } else { print "faulted smoke FAILED"; exit 1 } }' \
   build-ci/bench/BENCH_faults.json
 
-echo "==> ThreadSanitizer: parallel runner + parse cache must be race-free"
+echo "==> Fleet smoke (K=16 mini-fleet: amplification + knee + shedding)"
+(cd build-ci/bench && ./bench_fleet_scaling --quick --clients 16)
+awk -F': ' '/"deterministic_across_jobs"/ { det = ($2 ~ /true/) }
+            /"shed_at_max_k"/ { shed = ($2 ~ /true/) }
+            /"per_load_work_strictly_decreasing"/ { amp = ($2 ~ /true/) }
+            END { if (det && shed && amp) {
+                    print "fleet smoke OK: deterministic, amplifying, shedding"
+                  } else { print "fleet smoke FAILED"; exit 1 } }' \
+  build-ci/bench/BENCH_fleet.json
+
+echo "==> ThreadSanitizer: parallel runner + parse cache + fleet race-free"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:SharedStore.*:ProxyCompute.*'
 
 echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

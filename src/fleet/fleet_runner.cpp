@@ -1,0 +1,218 @@
+#include "fleet/fleet_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/parallel_runner.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace parcel::fleet {
+
+void FleetConfig::validate() const {
+  if (clients < 1) {
+    throw std::invalid_argument("FleetConfig: clients must be >= 1, got " +
+                                std::to_string(clients));
+  }
+  if (mean_interarrival < util::Duration::zero()) {
+    throw std::invalid_argument(
+        "FleetConfig: mean_interarrival must be >= 0");
+  }
+  if (store_capacity < 0) {
+    throw std::invalid_argument("FleetConfig: store_capacity must be >= 0");
+  }
+  compute.validate();
+  base.testbed.faults.validate();
+}
+
+std::vector<ClientSpec> derive_clients(const FleetConfig& config,
+                                       std::size_t corpus_pages) {
+  config.validate();
+  if (corpus_pages == 0) {
+    throw std::invalid_argument("derive_clients: corpus is empty");
+  }
+  // One dedicated stream for arrivals: adding clients never perturbs the
+  // per-session seeds, which are pure functions of the client index.
+  util::Rng arrivals(config.arrival_seed);
+  std::vector<ClientSpec> specs;
+  specs.reserve(static_cast<std::size_t>(config.clients));
+  util::TimePoint t = util::TimePoint::origin();
+  for (int k = 0; k < config.clients; ++k) {
+    if (k > 0 && !config.mean_interarrival.is_zero()) {
+      t += util::Duration::seconds(
+          arrivals.exponential(config.mean_interarrival.sec()));
+    }
+    ClientSpec spec;
+    spec.client = k;
+    // Round-robin over the corpus: the repeated-page pattern that makes
+    // shared-store warming visible as K grows past the corpus size.
+    spec.page_index = static_cast<std::size_t>(k) % corpus_pages;
+    spec.scheme = config.scheme;
+    spec.arrival = t;
+    spec.config = config.base;
+    // Same shape as the single-client harness's grid derivation: distinct
+    // deterministic seeds per slot, derived from the base seed only.
+    spec.config.seed = config.base.seed + 1000003ULL * static_cast<std::uint64_t>(k) + 1;
+    spec.config.testbed.fade_seed =
+        config.base.testbed.fade_seed + 7919ULL * static_cast<std::uint64_t>(k) + 1;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+namespace {
+
+/// Per-client accumulator for the macro timeline.
+struct MacroState {
+  bool shed = false;
+  std::size_t outstanding = 0;
+  util::Duration max_wait = util::Duration::zero();
+  util::TimePoint done;
+};
+
+}  // namespace
+
+FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
+                       const FleetConfig& config) {
+  return run_fleet(corpus, derive_clients(config, corpus.size()), config);
+}
+
+FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
+                       const std::vector<ClientSpec>& specs,
+                       const FleetConfig& config) {
+  config.validate();
+  if (corpus.empty()) {
+    throw std::invalid_argument("run_fleet: corpus is empty");
+  }
+  for (const ClientSpec& spec : specs) {
+    if (spec.page_index >= corpus.size()) {
+      throw std::invalid_argument(
+          "run_fleet: client page_index out of range: " +
+          std::to_string(spec.page_index));
+    }
+  }
+
+  // ---- Macro phase: one shared timeline for arrivals, the store, and
+  // proxy compute. Serial by construction; depends only on the corpus
+  // pages and the specs, never on micro-run outputs.
+  sim::Scheduler macro;
+  const sim::FaultPlan* plan =
+      config.base.testbed.faults.enabled() ? &config.base.testbed.faults
+                                           : nullptr;
+  ProxyCompute compute(macro, config.compute, plan);
+  SharedObjectStore store(config.store_capacity);
+  std::vector<MacroState> states(specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    macro.schedule_at(specs[i].arrival, [&, i] {
+      const ClientSpec& spec = specs[i];
+      MacroState& state = states[i];
+      const web::WebPage& page = *corpus[spec.page_index];
+      std::vector<const web::WebObject*> objects = page.objects();
+
+      // Admission control: size the whole task batch first (503-style —
+      // a client is either served or refused, never half-queued). Misses
+      // cost a fetch plus, for text bodies, a parse/scan; the per-session
+      // bundle assembly is always the client's own work. The batch's
+      // estimated service seconds feed the backlog bound.
+      std::size_t batch = 1;
+      util::Duration batch_cost =
+          compute.cost_of(TaskKind::kBundle, page.total_bytes());
+      for (const web::WebObject* object : objects) {
+        if (!store.contains(*object)) {
+          batch += web::is_parseable(object->type) ? 2u : 1u;
+          batch_cost += compute.cost_of(TaskKind::kFetch, object->size);
+          if (web::is_parseable(object->type)) {
+            batch_cost += compute.cost_of(TaskKind::kParse, object->size);
+          }
+        }
+      }
+      if (!compute.can_accept(batch, batch_cost)) {
+        state.shed = true;
+        return;
+      }
+
+      state.outstanding = batch;
+      auto on_done = [&state](util::TimePoint finished,
+                              util::Duration waited) {
+        state.max_wait = std::max(state.max_wait, waited);
+        state.done = std::max(state.done, finished);
+        --state.outstanding;
+      };
+      for (const web::WebObject* object : objects) {
+        SharedObjectStore::Outcome outcome = store.request(*object);
+        if (outcome.hit) continue;  // served from the shared store
+        compute.submit(spec.client, spec.weight, TaskKind::kFetch,
+                       object->size, on_done);
+        if (web::is_parseable(object->type)) {
+          compute.submit(spec.client, spec.weight, TaskKind::kParse,
+                         object->size, on_done);
+        }
+      }
+      compute.submit(spec.client, spec.weight, TaskKind::kBundle,
+                     page.total_bytes(), on_done);
+    });
+  }
+  macro.run();
+
+  // ---- Micro phase: one independent session simulation per admitted
+  // client, fanned out across the parallel runner (slot-indexed, so any
+  // jobs value is bitwise identical).
+  std::vector<std::size_t> admitted;
+  std::vector<core::ExperimentTask> tasks;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (states[i].shed) continue;
+    admitted.push_back(i);
+    tasks.push_back(core::ExperimentTask{specs[i].scheme,
+                                         corpus[specs[i].page_index],
+                                         specs[i].config});
+  }
+  std::vector<core::RunResult> sessions =
+      core::run_experiments(tasks, config.jobs);
+
+  // ---- Merge.
+  FleetMetrics metrics;
+  metrics.clients.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    FleetClientResult& r = metrics.clients[i];
+    r.client = specs[i].client;
+    r.page_index = specs[i].page_index;
+    r.arrival = specs[i].arrival;
+    r.shed = states[i].shed;
+  }
+  std::vector<double> olts, waits;
+  olts.reserve(admitted.size());
+  waits.reserve(admitted.size());
+  for (std::size_t s = 0; s < admitted.size(); ++s) {
+    std::size_t i = admitted[s];
+    FleetClientResult& r = metrics.clients[i];
+    r.queue_wait = states[i].max_wait;
+    r.proxy_done = states[i].done;
+    r.session = std::move(sessions[s]);
+    // Fleet-adjusted timeline: the contention the session sim cannot see
+    // is exactly the time this client's work sat waiting at the proxy.
+    r.olt = r.session.olt + r.queue_wait;
+    r.tlt = r.session.tlt + r.queue_wait;
+    olts.push_back(r.olt.sec());
+    waits.push_back(r.queue_wait.sec());
+    metrics.energy_j_total += r.session.radio.total.j();
+  }
+  metrics.admitted = static_cast<int>(admitted.size());
+  metrics.shed = static_cast<int>(specs.size() - admitted.size());
+  if (!olts.empty()) {
+    metrics.olt_p50 = util::percentile(olts, 50.0);
+    metrics.olt_p95 = util::percentile(olts, 95.0);
+    metrics.olt_p99 = util::percentile(olts, 99.0);
+    metrics.wait_p50 = util::percentile(waits, 50.0);
+    metrics.wait_p95 = util::percentile(waits, 95.0);
+    metrics.wait_p99 = util::percentile(waits, 99.0);
+  }
+  metrics.store = store.stats();
+  metrics.compute = compute.stats();
+  metrics.proxy_busy_sec = metrics.compute.busy_sec();
+  metrics.fetch_parse_sec = metrics.compute.fetch_parse_sec();
+  return metrics;
+}
+
+}  // namespace parcel::fleet

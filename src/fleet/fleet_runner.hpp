@@ -1,0 +1,144 @@
+// FleetRunner: many concurrent client sessions against one shared proxy,
+// in one deterministic simulation (ISSUE 5, tentpole c).
+//
+// Two composed layers, both bit-reproducible:
+//
+//  * The fleet macro-simulation — a single sim::Scheduler timeline where K
+//    clients arrive under a seeded arrival process over the page corpus.
+//    Each admitted arrival consults the fleet::SharedObjectStore (session
+//    N warms session N+1), submits the resulting fetch/parse/bundle tasks
+//    to fleet::ProxyCompute, and accrues queueing delay; a client whose
+//    task batch would overflow the bounded queue is shed 503-style.
+//
+//  * The per-session micro-simulations — one core::ExperimentRunner run
+//    per admitted client (own Testbed, own seeds), fanned out across
+//    core::ParallelRunner workers. Results land in per-client slots, so
+//    every aggregate below is bitwise identical for any --jobs value.
+//
+// The macro layer depends only on the corpus and the specs (not on
+// micro-run outputs), and the micro layer only on the specs, so the two
+// compose without feedback and the whole fleet run is a pure function of
+// (corpus, FleetConfig). A client's fleet-adjusted OLT/TLT is its
+// session-level value plus its queueing delay — service time is already
+// inside the session simulation and is deliberately not added twice
+// (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fleet/proxy_compute.hpp"
+#include "fleet/shared_store.hpp"
+#include "web/page.hpp"
+
+namespace parcel::fleet {
+
+/// One client of the fleet, fully described by value. Normally derived by
+/// derive_clients(); the low-level overload of run_fleet accepts explicit
+/// specs so regression tests can mirror the single-client harness's exact
+/// seed derivation.
+struct ClientSpec {
+  int client = 0;
+  std::size_t page_index = 0;
+  core::Scheme scheme = core::Scheme::kParcelInd;
+  util::TimePoint arrival;
+  /// Weighted-fair share under QueuePolicy::kWeightedFair.
+  double weight = 1.0;
+  core::RunConfig config;
+};
+
+struct FleetConfig {
+  /// Number of concurrent client sessions (K).
+  int clients = 8;
+  core::Scheme scheme = core::Scheme::kParcelInd;
+  /// Seeded Poisson arrivals: exponential inter-arrival times with this
+  /// mean, cumulative from t=0.
+  std::uint64_t arrival_seed = 2014;
+  util::Duration mean_interarrival = util::Duration::millis(200);
+  ProxyComputeConfig compute;
+  /// Shared-store capacity (0 = unbounded).
+  util::Bytes store_capacity = 0;
+  /// Per-client base run configuration; per-client seeds are derived from
+  /// base.seed and the client index. base.testbed.faults composes: the
+  /// plan reaches both the per-session testbeds and the proxy compute
+  /// model's blackout windows. Disabled (the default) keeps every
+  /// per-session result byte-identical to the single-client harness.
+  core::RunConfig base;
+  /// Micro-simulation fan-out width (core::ParallelRunner semantics:
+  /// 1 = inline, <= 0 = hardware concurrency). Any value produces
+  /// bitwise-identical fleet metrics.
+  int jobs = 1;
+
+  /// Throws std::invalid_argument on nonsense (clients < 1, negative
+  /// inter-arrival, invalid compute config, malformed fault plan).
+  void validate() const;
+};
+
+struct FleetClientResult {
+  int client = 0;
+  std::size_t page_index = 0;
+  util::TimePoint arrival;
+  bool shed = false;  // refused admission; no session was run
+  /// Worst queueing delay over the client's proxy tasks (zero when shed).
+  util::Duration queue_wait = util::Duration::zero();
+  /// When the proxy finished this client's last task (macro timeline).
+  util::TimePoint proxy_done;
+  /// Fleet-adjusted load metrics: session result + queue_wait.
+  util::Duration olt = util::Duration::zero();
+  util::Duration tlt = util::Duration::zero();
+  /// The per-session micro-simulation result (default-constructed when
+  /// shed).
+  core::RunResult session;
+};
+
+struct FleetMetrics {
+  std::vector<FleetClientResult> clients;  // indexed by client id
+  int admitted = 0;
+  int shed = 0;
+  [[nodiscard]] double shed_rate() const {
+    int total = admitted + shed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(shed) / static_cast<double>(total);
+  }
+
+  /// Distributions over admitted clients (fleet-adjusted OLT, queueing
+  /// delay), in seconds.
+  double olt_p50 = 0.0, olt_p95 = 0.0, olt_p99 = 0.0;
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+
+  /// Aggregate proxy work actually executed, and the cache-amplification
+  /// headline: origin-facing (fetch+parse) seconds per admitted load.
+  double proxy_busy_sec = 0.0;
+  double fetch_parse_sec = 0.0;
+  [[nodiscard]] double fetch_parse_sec_per_load() const {
+    return admitted == 0 ? 0.0 : fetch_parse_sec / admitted;
+  }
+
+  /// Radio energy across admitted clients (the fleet's device-side bill).
+  double energy_j_total = 0.0;
+  [[nodiscard]] double energy_j_mean() const {
+    return admitted == 0 ? 0.0 : energy_j_total / admitted;
+  }
+
+  SharedObjectStore::Stats store;
+  ProxyCompute::Stats compute;
+};
+
+/// Derive the K client specs from the config: arrival times from the
+/// seeded exponential process, pages round-robin over the corpus (the
+/// repeated-corpus warming pattern), per-client seeds from base.seed.
+[[nodiscard]] std::vector<ClientSpec> derive_clients(
+    const FleetConfig& config, std::size_t corpus_pages);
+
+/// Run the fleet: macro-simulate admission/store/queueing, micro-simulate
+/// every admitted session (fanned across `config.jobs` workers), merge.
+[[nodiscard]] FleetMetrics run_fleet(
+    const std::vector<const web::WebPage*>& corpus, const FleetConfig& config);
+
+/// Low-level entry: explicit specs (page_index must be < corpus.size()).
+[[nodiscard]] FleetMetrics run_fleet(
+    const std::vector<const web::WebPage*>& corpus,
+    const std::vector<ClientSpec>& specs, const FleetConfig& config);
+
+}  // namespace parcel::fleet

@@ -1,0 +1,172 @@
+// ProxyCompute: a deterministic model of the proxy's CPU as a shared,
+// contended resource (ISSUE 5, tentpole b).
+//
+// The per-session simulations model proxy processing at well-provisioned
+// single-session speed; what they cannot see is *contention* — Zambre et
+// al.'s parallel browser-engine study shows queueing, not single-session
+// latency, dominates once many clients share one engine host. ProxyCompute
+// supplies that axis: a fixed pool of workers on a sim::Scheduler
+// timeline, per-task service costs for the proxy's three work kinds
+// (origin fetch, parse/scan, bundle assembly), FIFO or weighted-fair
+// per-client dispatch, and a bounded queue for admission control.
+//
+// Only *waiting* (queueing delay plus outage deferral) is exported to the
+// fleet timeline: the service time itself is already inside the
+// per-session micro-simulation, so adding it again would double-count
+// (DESIGN.md §10). Service costs exist to occupy workers and create the
+// contention that produces the waits.
+//
+// Determinism: dispatch order is a pure function of the submission
+// sequence — FIFO picks the lowest sequence number; weighted-fair picks
+// the lowest virtual finish time with the sequence number as tie-break.
+// Blackout windows from a sim::FaultPlan (the proxy shares the weather
+// with the rest of the run) defer service starts to the window's end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace parcel::fleet {
+
+using util::Bytes;
+using util::Duration;
+using util::TimePoint;
+
+enum class TaskKind : std::uint8_t { kFetch, kParse, kBundle };
+[[nodiscard]] std::string_view to_string(TaskKind k);
+
+/// Service time = base(kind) + bytes / rate(kind). Rates of 0 mean the
+/// byte-proportional term is skipped (not a division by zero).
+struct TaskCosts {
+  Duration fetch_base = Duration::millis(2);
+  double fetch_bytes_per_sec = 200e6 / 8.0;  // egress-limited
+  Duration parse_base = Duration::millis(1);
+  double parse_bytes_per_sec = 50e6;  // server-class scan rate
+  Duration bundle_base = Duration::millis(1);
+  double bundle_bytes_per_sec = 400e6;  // memcpy + MHTML framing
+
+  [[nodiscard]] Duration service_time(TaskKind kind, Bytes bytes) const;
+
+  /// Zero-cost model: every task completes the instant it is dispatched.
+  /// FleetRunner with idle costs reproduces the single-client harness
+  /// byte-for-byte (the K=1 regression pin).
+  static TaskCosts idle();
+};
+
+enum class QueuePolicy : std::uint8_t {
+  kFifo,          // strict submission order
+  kWeightedFair,  // per-client WFQ on virtual finish times
+};
+
+struct ProxyComputeConfig {
+  /// Concurrent service slots (the proxy's cores). Must be >= 1.
+  int workers = 4;
+  QueuePolicy policy = QueuePolicy::kFifo;
+  /// Admission bounds — a client's whole task batch is refused (503-style
+  /// shed, FleetRunner) when either would be exceeded; 0 / zero disables.
+  /// max_queue bounds *tasks* waiting (not in service); max_backlog
+  /// bounds the *service seconds* queued — the proxy's estimate of how
+  /// far behind it is, which is what a real load shedder keys on.
+  std::size_t max_queue = 0;
+  Duration max_backlog = Duration::zero();
+  TaskCosts costs;
+
+  /// Uncontended model for regression pins: zero costs, so no run is ever
+  /// delayed and no queue ever forms.
+  static ProxyComputeConfig idle();
+
+  /// Throws std::invalid_argument on nonsense (workers < 1, negative
+  /// costs, non-positive rates when a base cost expects them).
+  void validate() const;
+};
+
+class ProxyCompute {
+ public:
+  /// `faults` may be null; only its blackout windows are consulted (the
+  /// proxy host shares the run's weather). Borrowed, must outlive *this.
+  ProxyCompute(sim::Scheduler& sched, ProxyComputeConfig config,
+               const sim::FaultPlan* faults = nullptr);
+
+  /// Completion callback: fires on the scheduler timeline when the task
+  /// finishes service. `waited` is service_start - submit time (queueing
+  /// delay including blackout deferral).
+  using Done = std::function<void(TimePoint finished, Duration waited)>;
+
+  /// Would a batch of `tasks` more tasks costing `batch_cost` service
+  /// seconds still respect the admission bounds? (FleetRunner asks once
+  /// per client, before submitting any.)
+  [[nodiscard]] bool can_accept(std::size_t tasks,
+                                Duration batch_cost = Duration::zero()) const;
+
+  /// Service cost this pool would charge (for admission estimates).
+  [[nodiscard]] Duration cost_of(TaskKind kind, Bytes bytes) const {
+    return config_.costs.service_time(kind, bytes);
+  }
+
+  /// Enqueue one task for `client`. `weight` > 0 matters only under
+  /// weighted-fair dispatch (higher weight = more service share).
+  void submit(int client, double weight, TaskKind kind, Bytes bytes,
+              Done done);
+
+  struct Stats {
+    std::uint64_t completed = 0;
+    /// Batches refused by can_accept are counted by the caller; this
+    /// tracks tasks that went through service.
+    double fetch_busy_sec = 0.0;
+    double parse_busy_sec = 0.0;
+    double bundle_busy_sec = 0.0;
+    [[nodiscard]] double busy_sec() const {
+      return fetch_busy_sec + parse_busy_sec + bundle_busy_sec;
+    }
+    /// The cache-amplification metric: origin-facing work actually
+    /// executed (fetch + parse), excluding per-session bundling.
+    [[nodiscard]] double fetch_parse_sec() const {
+      return fetch_busy_sec + parse_busy_sec;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Every completed task's queueing delay, in submission order.
+  [[nodiscard]] const util::Summary& waits() const { return waits_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Service seconds currently waiting (not yet in service).
+  [[nodiscard]] Duration backlog() const { return backlog_; }
+  [[nodiscard]] int idle_workers() const { return idle_workers_; }
+
+ private:
+  struct Task {
+    std::uint64_t seq = 0;
+    int client = 0;
+    TaskKind kind = TaskKind::kFetch;
+    Duration cost = Duration::zero();
+    TimePoint submitted;
+    double virtual_finish = 0.0;  // WFQ ordering key
+    Done done;
+  };
+
+  void dispatch();
+  [[nodiscard]] std::size_t pick_next() const;
+  [[nodiscard]] TimePoint defer_past_blackouts(TimePoint start) const;
+
+  sim::Scheduler& sched_;
+  ProxyComputeConfig config_;
+  const sim::FaultPlan* faults_ = nullptr;
+
+  std::uint64_t next_seq_ = 0;
+  int idle_workers_ = 0;
+  /// Waiting tasks (not in service). Small fleets keep this short; the
+  /// linear WFQ scan is deterministic and cheap at model scale.
+  std::vector<Task> queue_;
+  Duration backlog_ = Duration::zero();
+  /// Per-client WFQ virtual finish times, grown on demand.
+  std::vector<double> client_vfinish_;
+  Stats stats_;
+  util::Summary waits_;
+};
+
+}  // namespace parcel::fleet

@@ -1,0 +1,66 @@
+#include "fleet/shared_store.hpp"
+
+namespace parcel::fleet {
+
+SharedObjectStore::Key SharedObjectStore::key_for(
+    const web::WebObject& object) {
+  Key key;
+  key.size = object.size;
+  if (object.content) {
+    key.data = object.content->data();
+    key.aux = object.content->size();
+    key.opaque = false;
+  } else {
+    key.data = nullptr;
+    key.aux = object.url.id().v;
+    key.opaque = true;
+  }
+  return key;
+}
+
+bool SharedObjectStore::contains(const web::WebObject& object) const {
+  return entries_.find(key_for(object)) != entries_.end();
+}
+
+SharedObjectStore::Outcome SharedObjectStore::request(
+    const web::WebObject& object) {
+  Key key = key_for(object);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    stats_.bytes_saved += it->second.size;
+    return Outcome{true, it->second.size};
+  }
+  ++stats_.misses;
+  Entry entry;
+  entry.size = object.size;
+  entry.pin = object.content;
+  stats_.bytes_stored += entry.size;
+  entries_.emplace(key, std::move(entry));
+  fifo_.push_back(key);
+  evict_to_fit();
+  return Outcome{false, 0};
+}
+
+void SharedObjectStore::evict_to_fit() {
+  if (capacity_bytes_ <= 0) return;
+  // FIFO: evict oldest-inserted entries until we fit, but never the entry
+  // just inserted (a single object larger than capacity passes through).
+  while (stats_.bytes_stored > capacity_bytes_ && fifo_.size() > 1) {
+    Key victim = fifo_.front();
+    fifo_.pop_front();
+    auto it = entries_.find(victim);
+    if (it == entries_.end()) continue;
+    stats_.bytes_stored -= it->second.size;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void SharedObjectStore::clear() {
+  entries_.clear();
+  fifo_.clear();
+  stats_.bytes_stored = 0;
+}
+
+}  // namespace parcel::fleet

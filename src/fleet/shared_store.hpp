@@ -1,0 +1,117 @@
+// SharedObjectStore: the per-proxy artifact cache a fleet of sessions
+// shares (ISSUE 5, tentpole a).
+//
+// The paper evaluates one client against one proxy, but its premise is a
+// well-provisioned proxy serving *many* cellular users. The first user to
+// load a page makes the proxy fetch every object and parse/scan the text
+// ones; once those artifacts exist, later sessions of the same page need
+// neither the origin fetch nor the re-parse — exactly the warming effect
+// web::ParseCache exploits within one process, lifted to the fleet model
+// as a first-class simulated resource with hit/miss/byte-saved accounting.
+//
+// Keying follows ParseCache's content identity: replayed corpus snapshots
+// hold their text bodies in immutable shared strings created once, so the
+// (data pointer, length) of an object's content names its bytes uniquely;
+// the entry retains the owning shared_ptr so the keyed address can never
+// be recycled while the entry lives. Opaque bodies (images, media — no
+// content string in the model) are keyed by interned URL id + size.
+//
+// Capacity is optional (capacity_bytes = 0 means unbounded); a bounded
+// store evicts in strict insertion (FIFO) order, so eviction — like every
+// other part of the fleet model — is a pure function of the request
+// sequence and replays bit-for-bit.
+//
+// Thread-safety: none. The store belongs to the fleet macro-simulation,
+// which runs on a single sim::Scheduler timeline; the per-client
+// micro-simulations fanned out by core::ParallelRunner never touch it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "net/url.hpp"
+#include "util/units.hpp"
+#include "web/object.hpp"
+
+namespace parcel::fleet {
+
+class SharedObjectStore {
+ public:
+  explicit SharedObjectStore(util::Bytes capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Would a request for `object` hit the store right now? (No state
+  /// change — admission control peeks before a client commits.)
+  [[nodiscard]] bool contains(const web::WebObject& object) const;
+
+  struct Outcome {
+    bool hit = false;
+    /// Origin bytes the proxy did NOT have to move because of the hit.
+    util::Bytes bytes_saved = 0;
+  };
+
+  /// Record one session's need for `object`: a hit bumps the counters and
+  /// saves the fetch; a miss inserts the artifact (evicting FIFO if over
+  /// capacity) so the *next* session hits.
+  Outcome request(const web::WebObject& object);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    util::Bytes bytes_saved = 0;   // cumulative, over all hits
+    util::Bytes bytes_stored = 0;  // currently resident
+    [[nodiscard]] double hit_rate() const {
+      std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  [[nodiscard]] util::Bytes capacity_bytes() const { return capacity_bytes_; }
+
+  /// Drop every entry; counters are kept (a fleet run's totals survive).
+  void clear();
+
+ private:
+  // Content identity: text bodies key on (data pointer, length) — the
+  // ParseCache identity — and opaque bodies on (url id, length) with a
+  // null pointer. The two spaces cannot collide (live pointers are
+  // non-null and never equal a hash value reinterpreted as an address
+  // because the pointer field disambiguates via `opaque`).
+  struct Key {
+    const char* data = nullptr;
+    std::uint64_t aux = 0;  // length for text; url-id for opaque
+    util::Bytes size = 0;
+    bool opaque = false;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<const void*>{}(k.data);
+      h ^= k.aux + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= static_cast<std::size_t>(k.size) + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  struct Entry {
+    util::Bytes size = 0;
+    /// Keeps the keyed content address alive (null for opaque bodies).
+    std::shared_ptr<const std::string> pin;
+  };
+
+  static Key key_for(const web::WebObject& object);
+  void evict_to_fit();
+
+  util::Bytes capacity_bytes_ = 0;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Insertion order for FIFO eviction (never iterated out of order).
+  std::deque<Key> fifo_;
+  Stats stats_;
+};
+
+}  // namespace parcel::fleet

@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/experiment.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "fleet/proxy_compute.hpp"
+#include "fleet/shared_store.hpp"
+#include "replay/replay_store.hpp"
+#include "sim/scheduler.hpp"
+#include "web/generator.hpp"
+#include "web/object.hpp"
+
+namespace parcel::fleet {
+namespace {
+
+// A small replayed corpus shared by the fleet tests (same pattern as
+// test_parallel_runner: static store keeps the snapshots alive).
+const std::vector<const web::WebPage*>& test_corpus() {
+  static std::vector<const web::WebPage*>* corpus = [] {
+    static replay::ReplayStore store;
+    auto* pages = new std::vector<const web::WebPage*>;
+    for (int p = 0; p < 2; ++p) {
+      web::PageSpec spec;
+      spec.site = "fleet" + std::to_string(p) + ".example.com";
+      spec.object_count = 24;
+      spec.total_bytes = util::kib(300);
+      spec.seed = 40 + static_cast<std::uint64_t>(p);
+      store.record(web::PageGenerator::generate(spec));
+      pages->push_back(
+          store.find("http://fleet" + std::to_string(p) + ".example.com/"));
+    }
+    return pages;
+  }();
+  return *corpus;
+}
+
+const web::WebPage& test_page() { return *test_corpus()[0]; }
+
+// Synthetic text object whose content the test owns (store keys on the
+// content address, so each object needs its own string).
+web::WebObject text_object(const std::string& url, util::Bytes size) {
+  web::WebObject object;
+  object.url = net::Url::parse(url);
+  object.type = web::ObjectType::kHtml;
+  object.size = size;
+  object.content = std::make_shared<const std::string>(
+      std::string(static_cast<std::size_t>(size), 'x'));
+  return object;
+}
+
+web::WebObject opaque_object(const std::string& url, util::Bytes size) {
+  web::WebObject object;
+  object.url = net::Url::parse(url);
+  object.type = web::ObjectType::kImage;
+  object.size = size;
+  return object;
+}
+
+// The single-run determinism contract, borrowed from the parallel-runner
+// tests: bitwise, not approximate.
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.olt.sec(), b.olt.sec());
+  EXPECT_EQ(a.tlt.sec(), b.tlt.sec());
+  EXPECT_EQ(a.radio.total.j(), b.radio.total.j());
+  EXPECT_EQ(a.radio.cr.j(), b.radio.cr.j());
+  EXPECT_EQ(a.cpu_busy.sec(), b.cpu_busy.sec());
+  EXPECT_EQ(a.radio_http_requests, b.radio_http_requests);
+  EXPECT_EQ(a.tcp_connections, b.tcp_connections);
+  EXPECT_EQ(a.objects_loaded, b.objects_loaded);
+  EXPECT_EQ(a.downlink_bytes, b.downlink_bytes);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+}
+
+void expect_fleet_identical(const FleetMetrics& a, const FleetMetrics& b) {
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed, b.shed);
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    SCOPED_TRACE("client " + std::to_string(i));
+    EXPECT_EQ(a.clients[i].shed, b.clients[i].shed);
+    EXPECT_EQ(a.clients[i].queue_wait.sec(), b.clients[i].queue_wait.sec());
+    EXPECT_EQ(a.clients[i].olt.sec(), b.clients[i].olt.sec());
+    EXPECT_EQ(a.clients[i].tlt.sec(), b.clients[i].tlt.sec());
+    expect_identical(a.clients[i].session, b.clients[i].session);
+  }
+  EXPECT_EQ(a.olt_p50, b.olt_p50);
+  EXPECT_EQ(a.olt_p95, b.olt_p95);
+  EXPECT_EQ(a.olt_p99, b.olt_p99);
+  EXPECT_EQ(a.wait_p95, b.wait_p95);
+  EXPECT_EQ(a.proxy_busy_sec, b.proxy_busy_sec);
+  EXPECT_EQ(a.fetch_parse_sec, b.fetch_parse_sec);
+  EXPECT_EQ(a.energy_j_total, b.energy_j_total);
+  EXPECT_EQ(a.store.hits, b.store.hits);
+  EXPECT_EQ(a.store.misses, b.store.misses);
+  EXPECT_EQ(a.store.bytes_saved, b.store.bytes_saved);
+  EXPECT_EQ(a.compute.completed, b.compute.completed);
+}
+
+// ---------------------------------------------------------------------
+// SharedObjectStore
+
+TEST(SharedStore, FirstSessionMissesSecondSessionHits) {
+  SharedObjectStore store;
+  const web::WebPage& page = test_page();
+  util::Bytes total = 0;
+  for (const web::WebObject* object : page.objects()) {
+    EXPECT_FALSE(store.contains(*object));
+    SharedObjectStore::Outcome outcome = store.request(*object);
+    EXPECT_FALSE(outcome.hit);
+    total += object->size;
+  }
+  std::uint64_t n = store.stats().misses;
+  EXPECT_EQ(n, page.objects().size());
+  EXPECT_EQ(store.stats().hits, 0u);
+  EXPECT_EQ(store.stats().bytes_stored, total);
+
+  util::Bytes saved = 0;
+  for (const web::WebObject* object : page.objects()) {
+    EXPECT_TRUE(store.contains(*object));
+    SharedObjectStore::Outcome outcome = store.request(*object);
+    EXPECT_TRUE(outcome.hit);
+    saved += outcome.bytes_saved;
+  }
+  EXPECT_EQ(store.stats().hits, n);
+  EXPECT_EQ(store.stats().misses, n);
+  EXPECT_EQ(store.stats().bytes_saved, total);
+  EXPECT_EQ(saved, total);
+  EXPECT_DOUBLE_EQ(store.stats().hit_rate(), 0.5);
+}
+
+TEST(SharedStore, TextAndOpaqueKeysAreIndependent) {
+  SharedObjectStore store;
+  web::WebObject text = text_object("http://k.example.com/a.html", 100);
+  web::WebObject image = opaque_object("http://k.example.com/a.html", 100);
+  EXPECT_FALSE(store.request(text).hit);
+  // Same URL and size, but an opaque body is a different artifact.
+  EXPECT_FALSE(store.request(image).hit);
+  EXPECT_TRUE(store.request(text).hit);
+  EXPECT_TRUE(store.request(image).hit);
+  EXPECT_EQ(store.entries(), 2u);
+}
+
+TEST(SharedStore, FifoEvictionUnderCapacity) {
+  SharedObjectStore store(250);
+  web::WebObject a = text_object("http://e.example.com/a", 100);
+  web::WebObject b = text_object("http://e.example.com/b", 100);
+  web::WebObject c = text_object("http://e.example.com/c", 100);
+  store.request(a);
+  store.request(b);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  store.request(c);  // 300 > 250: evict the oldest (a)
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.entries(), 2u);
+  EXPECT_EQ(store.stats().bytes_stored, 200);
+  EXPECT_FALSE(store.contains(a));
+  EXPECT_TRUE(store.contains(b));
+  EXPECT_TRUE(store.contains(c));
+}
+
+TEST(SharedStore, OversizedEntryIsNeverItsOwnVictim) {
+  SharedObjectStore store(250);
+  web::WebObject big = text_object("http://e.example.com/big", 400);
+  store.request(big);
+  // A single artifact larger than capacity passes through resident.
+  EXPECT_EQ(store.entries(), 1u);
+  EXPECT_TRUE(store.contains(big));
+  EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(SharedStore, ClearDropsEntriesKeepsCounters) {
+  SharedObjectStore store;
+  web::WebObject a = text_object("http://c.example.com/a", 64);
+  store.request(a);
+  store.request(a);
+  store.clear();
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_EQ(store.stats().bytes_stored, 0);
+  EXPECT_FALSE(store.contains(a));
+  // Run totals survive a clear (hits/misses are cumulative accounting).
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// ProxyCompute
+
+ProxyComputeConfig flat_cost_config(int workers, double task_sec) {
+  ProxyComputeConfig cfg;
+  cfg.workers = workers;
+  cfg.costs = TaskCosts::idle();
+  cfg.costs.fetch_base = util::Duration::seconds(task_sec);
+  cfg.costs.parse_base = util::Duration::seconds(task_sec);
+  cfg.costs.bundle_base = util::Duration::seconds(task_sec);
+  return cfg;
+}
+
+TEST(ProxyCompute, FifoWaitsAreExactWithOneWorker) {
+  sim::Scheduler sched;
+  ProxyCompute compute(sched, flat_cost_config(1, 0.010));
+  std::vector<double> waited, finished;
+  auto done = [&](util::TimePoint f, util::Duration w) {
+    finished.push_back(f.sec());
+    waited.push_back(w.sec());
+  };
+  for (int i = 0; i < 3; ++i) {
+    compute.submit(0, 1.0, TaskKind::kFetch, 0, done);
+  }
+  sched.run();
+  ASSERT_EQ(waited.size(), 3u);
+  EXPECT_DOUBLE_EQ(waited[0], 0.000);
+  EXPECT_DOUBLE_EQ(waited[1], 0.010);
+  EXPECT_DOUBLE_EQ(waited[2], 0.020);
+  EXPECT_DOUBLE_EQ(finished[2], 0.030);
+  EXPECT_EQ(compute.stats().completed, 3u);
+  EXPECT_DOUBLE_EQ(compute.stats().fetch_busy_sec, 0.030);
+  EXPECT_EQ(compute.idle_workers(), 1);
+  EXPECT_EQ(compute.queued(), 0u);
+}
+
+TEST(ProxyCompute, WeightedFairServesHeavyClientFirst) {
+  sim::Scheduler sched;
+  ProxyComputeConfig cfg = flat_cost_config(1, 0.040);
+  cfg.policy = QueuePolicy::kWeightedFair;
+  ProxyCompute compute(sched, cfg);
+  std::vector<int> order;
+  auto track = [&](int client) {
+    return [&order, client](util::TimePoint, util::Duration) {
+      order.push_back(client);
+    };
+  };
+  // Client 0 occupies the worker; clients 1 (weight 1) and 2 (weight 4)
+  // queue alternately. WFQ must drain the heavy client's backlog first
+  // even though submission order interleaves.
+  compute.submit(0, 1.0, TaskKind::kBundle, 0, track(0));
+  compute.submit(1, 1.0, TaskKind::kFetch, 0, track(1));
+  compute.submit(2, 4.0, TaskKind::kFetch, 0, track(2));
+  compute.submit(1, 1.0, TaskKind::kFetch, 0, track(1));
+  compute.submit(2, 4.0, TaskKind::kFetch, 0, track(2));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 2, 1, 1}));
+}
+
+TEST(ProxyCompute, FifoBreaksTiesBySubmissionOrder) {
+  sim::Scheduler sched;
+  ProxyCompute compute(sched, flat_cost_config(1, 0.005));
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    compute.submit(i, 1.0, TaskKind::kParse, 0,
+                   [&order, i](util::TimePoint, util::Duration) {
+                     order.push_back(i);
+                   });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ProxyCompute, TaskQueueAdmissionBound) {
+  sim::Scheduler sched;
+  ProxyComputeConfig cfg = flat_cost_config(1, 1.0);
+  cfg.max_queue = 2;
+  ProxyCompute compute(sched, cfg);
+  auto nop = [](util::TimePoint, util::Duration) {};
+  compute.submit(0, 1.0, TaskKind::kFetch, 0, nop);  // into service
+  EXPECT_TRUE(compute.can_accept(2));
+  compute.submit(0, 1.0, TaskKind::kFetch, 0, nop);
+  compute.submit(0, 1.0, TaskKind::kFetch, 0, nop);
+  EXPECT_EQ(compute.queued(), 2u);
+  EXPECT_FALSE(compute.can_accept(1));
+  sched.run();
+  EXPECT_TRUE(compute.can_accept(1));
+}
+
+TEST(ProxyCompute, BacklogAdmissionBound) {
+  sim::Scheduler sched;
+  ProxyComputeConfig cfg = flat_cost_config(1, 0.040);
+  cfg.max_backlog = util::Duration::millis(50);
+  ProxyCompute compute(sched, cfg);
+  auto nop = [](util::TimePoint, util::Duration) {};
+  compute.submit(0, 1.0, TaskKind::kFetch, 0, nop);  // in service, no backlog
+  EXPECT_DOUBLE_EQ(compute.backlog().sec(), 0.0);
+  EXPECT_TRUE(compute.can_accept(1, util::Duration::millis(40)));
+  compute.submit(0, 1.0, TaskKind::kFetch, 0, nop);  // queued: 40 ms backlog
+  EXPECT_DOUBLE_EQ(compute.backlog().sec(), 0.040);
+  EXPECT_FALSE(compute.can_accept(1, util::Duration::millis(20)));
+  EXPECT_TRUE(compute.can_accept(1, util::Duration::millis(10)));
+  sched.run();
+  EXPECT_DOUBLE_EQ(compute.backlog().sec(), 0.0);
+}
+
+TEST(ProxyCompute, BlackoutDefersServiceStart) {
+  sim::Scheduler sched;
+  sim::FaultPlan plan;
+  plan.blackouts.push_back(sim::FaultWindow{util::TimePoint::origin(),
+                                            util::Duration::millis(100)});
+  ProxyCompute compute(sched, flat_cost_config(1, 0.010), &plan);
+  double waited = -1.0, finished = -1.0;
+  compute.submit(0, 1.0, TaskKind::kFetch, 0,
+                 [&](util::TimePoint f, util::Duration w) {
+                   finished = f.sec();
+                   waited = w.sec();
+                 });
+  sched.run();
+  // Submitted at t=0 into the outage: service starts at the window's end.
+  EXPECT_DOUBLE_EQ(waited, 0.100);
+  EXPECT_DOUBLE_EQ(finished, 0.110);
+}
+
+TEST(ProxyCompute, ValidateRejectsNonsense) {
+  sim::Scheduler sched;
+  ProxyComputeConfig bad_workers;
+  bad_workers.workers = 0;
+  EXPECT_THROW(ProxyCompute(sched, bad_workers), std::invalid_argument);
+  ProxyComputeConfig bad_cost;
+  bad_cost.costs.parse_base = util::Duration::seconds(-1.0);
+  EXPECT_THROW(ProxyCompute(sched, bad_cost), std::invalid_argument);
+  ProxyComputeConfig bad_backlog;
+  bad_backlog.max_backlog = util::Duration::seconds(-0.5);
+  EXPECT_THROW(ProxyCompute(sched, bad_backlog), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// FleetRunner
+
+TEST(FleetRunner, DeriveClientsIsDeterministicAndRoundRobin) {
+  FleetConfig cfg;
+  cfg.clients = 6;
+  cfg.arrival_seed = 99;
+  std::vector<ClientSpec> a = derive_clients(cfg, 2);
+  std::vector<ClientSpec> b = derive_clients(cfg, 2);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[0].arrival.sec(), 0.0);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].arrival.sec(), b[k].arrival.sec());
+    EXPECT_EQ(a[k].config.seed, b[k].config.seed);
+    EXPECT_EQ(a[k].page_index, k % 2);
+    if (k > 0) {
+      EXPECT_GE(a[k].arrival.sec(), a[k - 1].arrival.sec());
+    }
+  }
+  // Distinct per-client seeds (pure function of the client index).
+  EXPECT_NE(a[0].config.seed, a[1].config.seed);
+
+  FleetConfig bad = cfg;
+  bad.clients = 0;
+  EXPECT_THROW(derive_clients(bad, 2), std::invalid_argument);
+  EXPECT_THROW(derive_clients(cfg, 0), std::invalid_argument);
+}
+
+TEST(FleetRunner, SingleClientIdleComputeReproducesExperimentRunner) {
+  // The K=1 regression pin (ISSUE 5 satellite): an idle proxy and a lone
+  // client must reproduce the single-client harness byte-for-byte.
+  FleetConfig cfg;
+  cfg.clients = 1;
+  cfg.scheme = core::Scheme::kParcelInd;
+  cfg.compute = ProxyComputeConfig::idle();
+  cfg.base.seed = 7;
+  FleetMetrics metrics = run_fleet(test_corpus(), cfg);
+
+  ASSERT_EQ(metrics.admitted, 1);
+  EXPECT_EQ(metrics.shed, 0);
+  const FleetClientResult& r = metrics.clients[0];
+  EXPECT_EQ(r.queue_wait.sec(), 0.0);
+
+  core::RunConfig expected_cfg = cfg.base;
+  expected_cfg.seed = cfg.base.seed + 1;  // derive_clients, k = 0
+  expected_cfg.testbed.fade_seed = cfg.base.testbed.fade_seed + 1;
+  core::RunResult expected = core::ExperimentRunner::run(
+      core::Scheme::kParcelInd, test_page(), expected_cfg);
+  expect_identical(r.session, expected);
+  // With zero waits the fleet-adjusted timeline IS the session timeline.
+  EXPECT_EQ(r.olt.sec(), expected.olt.sec());
+  EXPECT_EQ(r.tlt.sec(), expected.tlt.sec());
+}
+
+TEST(FleetRunner, ExplicitSpecsMirrorRunRoundsByteForByte) {
+  // Same grid, two harnesses: run_rounds' (round x scheme) sweep vs a
+  // fleet of explicit specs using run_rounds' exact seed derivation.
+  std::vector<core::Scheme> schemes{core::Scheme::kDir,
+                                    core::Scheme::kParcelInd};
+  core::RoundsConfig rounds_cfg;
+  rounds_cfg.rounds = 2;
+  rounds_cfg.discard_first_round = false;
+  rounds_cfg.base.seed = 21;
+  core::RoundsOutcome rounds =
+      core::run_rounds(test_page(), schemes, rounds_cfg);
+  ASSERT_EQ(rounds.rounds_kept, 2);
+
+  FleetConfig cfg;
+  cfg.compute = ProxyComputeConfig::idle();
+  cfg.base = rounds_cfg.base;
+  std::vector<ClientSpec> specs;
+  for (int round = 0; round < rounds_cfg.rounds; ++round) {
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      ClientSpec spec;
+      spec.client = static_cast<int>(specs.size());
+      spec.page_index = 0;
+      spec.scheme = schemes[i];
+      spec.arrival = util::TimePoint::origin() +
+                     util::Duration::seconds(static_cast<double>(round));
+      spec.config = rounds_cfg.base;
+      spec.config.seed = rounds_cfg.base.seed +
+                         1000003ULL * static_cast<std::uint64_t>(round) +
+                         97ULL * i;
+      spec.config.testbed.fade_seed =
+          rounds_cfg.base.testbed.fade_seed +
+          7919ULL * static_cast<std::uint64_t>(round) + 31ULL * i + 1;
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<const web::WebPage*> corpus{&test_page()};
+  FleetMetrics metrics = run_fleet(corpus, specs, cfg);
+  ASSERT_EQ(metrics.admitted, 4);
+
+  for (int round = 0; round < rounds_cfg.rounds; ++round) {
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " " +
+                   core::to_string(schemes[i]));
+      const core::RunResult& expected =
+          rounds.series.at(schemes[i]).runs[static_cast<std::size_t>(round)];
+      const core::RunResult& actual =
+          metrics
+              .clients[static_cast<std::size_t>(round) * schemes.size() + i]
+              .session;
+      expect_identical(actual, expected);
+    }
+  }
+}
+
+TEST(FleetRunner, Jobs4BitwiseIdenticalToJobs1) {
+  FleetConfig cfg;
+  cfg.clients = 8;
+  cfg.arrival_seed = 5;
+  cfg.mean_interarrival = util::Duration::millis(50);
+  cfg.compute.workers = 2;  // contended: real waits in the results
+  cfg.base.seed = 31;
+
+  cfg.jobs = 1;
+  FleetMetrics serial = run_fleet(test_corpus(), cfg);
+  cfg.jobs = 4;
+  FleetMetrics parallel = run_fleet(test_corpus(), cfg);
+  expect_fleet_identical(serial, parallel);
+  // Contention actually happened (the identity wasn't vacuous).
+  EXPECT_GT(serial.wait_p95, 0.0);
+}
+
+TEST(FleetRunner, SharedStoreHitRatePin) {
+  // K=8 round-robin over 2 pages: clients 0-1 warm the store, clients
+  // 2-7 hit everything. Exact counts, not approximations.
+  FleetConfig cfg;
+  cfg.clients = 8;
+  cfg.compute = ProxyComputeConfig::idle();
+  cfg.base.seed = 3;
+  FleetMetrics metrics = run_fleet(test_corpus(), cfg);
+
+  std::uint64_t objects_per_round = 0;
+  util::Bytes bytes_per_round = 0;
+  for (const web::WebPage* page : test_corpus()) {
+    objects_per_round += page->objects().size();
+    for (const web::WebObject* object : page->objects()) {
+      bytes_per_round += object->size;
+    }
+  }
+  ASSERT_EQ(metrics.admitted, 8);
+  EXPECT_EQ(metrics.store.misses, objects_per_round);
+  EXPECT_EQ(metrics.store.hits, 3 * objects_per_round);
+  EXPECT_EQ(metrics.store.bytes_saved, 3 * bytes_per_round);
+  EXPECT_DOUBLE_EQ(metrics.store.hit_rate(), 0.75);
+}
+
+TEST(FleetRunner, BlackoutFillsQueueAndShedsLateArrivals) {
+  // During a proxy-side blackout nothing dispatches, so client 0's batch
+  // camps in the queue and every later arrival is refused 503-style.
+  const web::WebPage& page = test_page();
+  std::size_t batch = 1;
+  for (const web::WebObject* object : page.objects()) {
+    batch += web::is_parseable(object->type) ? 2u : 1u;
+  }
+
+  FleetConfig cfg;
+  cfg.clients = 5;
+  cfg.mean_interarrival = util::Duration::millis(50);
+  cfg.compute = ProxyComputeConfig::idle();
+  cfg.compute.max_queue = batch;
+  cfg.base.seed = 11;
+  std::vector<const web::WebPage*> corpus{&page};
+
+  // Control: no faults, idle compute — the queue never fills.
+  FleetMetrics calm = run_fleet(corpus, cfg);
+  EXPECT_EQ(calm.shed, 0);
+  EXPECT_EQ(calm.admitted, 5);
+
+  // Blackout spanning every arrival: client 0's cold batch camps in the
+  // queue. Client 1 still fits — the warmed store shrinks its batch to a
+  // single bundle task — and everyone after that is refused.
+  cfg.base.testbed.faults = sim::FaultPlan::parse("blackout=0+10");
+  FleetMetrics stormy = run_fleet(corpus, cfg);
+  EXPECT_EQ(stormy.admitted, 2);
+  EXPECT_EQ(stormy.shed, 3);
+  EXPECT_EQ(stormy.clients[0].queue_wait.sec(), 10.0);
+  EXPECT_GT(stormy.clients[1].queue_wait.sec(), 9.0);
+  for (std::size_t i = 2; i < stormy.clients.size(); ++i) {
+    EXPECT_TRUE(stormy.clients[i].shed);
+    EXPECT_EQ(stormy.clients[i].queue_wait.sec(), 0.0);
+  }
+  // Shed clients never touched the store (admission only peeks): client
+  // 0 supplied every miss, client 1 every hit.
+  std::uint64_t objects = page.objects().size();
+  EXPECT_EQ(stormy.store.misses, objects);
+  EXPECT_EQ(stormy.store.hits, objects);
+}
+
+// ---------------------------------------------------------------------
+// CLI parsing (bench/common): the reject-garbage contract
+
+TEST(FleetCli, ParsePositiveIntStrict) {
+  EXPECT_EQ(bench::parse_positive_int("--clients", "16"), 16);
+  EXPECT_EQ(bench::parse_positive_int("--workers", "1"), 1);
+  EXPECT_THROW(bench::parse_positive_int("--clients", ""),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "abc"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "12x"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "-4"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "1e3"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_positive_int("--clients", "1000001"),
+               std::invalid_argument);
+}
+
+TEST(FleetCli, ParseU64Strict) {
+  EXPECT_EQ(bench::parse_u64("--arrival-seed", "0"), 0u);
+  EXPECT_EQ(bench::parse_u64("--arrival-seed", "2014"), 2014u);
+  EXPECT_EQ(bench::parse_u64("--arrival-seed", "18446744073709551615"),
+            18446744073709551615ULL);
+  EXPECT_THROW(bench::parse_u64("--arrival-seed", ""),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_u64("--arrival-seed", "seed"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_u64("--arrival-seed", "7 "),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_u64("--arrival-seed", "-1"),
+               std::invalid_argument);
+  EXPECT_THROW(bench::parse_u64("--arrival-seed", "+5"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parcel::fleet
