@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Minimal CI: Release build (warnings are errors tree-wide) + full test
-# suite, the parcel-lint determinism gate, parse-cache/faulted/fleet
-# smokes, then a
+# suite, the parcel-lint determinism gate, the kernel-throughput gate
+# (current numbers vs the checked-in BENCH_kernel.json baseline, >10%
+# regression fails), parse-cache/faulted/fleet smokes, then a
 # ThreadSanitizer build that runs the parallel-runner and parse-cache
 # tests to prove the fan-out is race-free, an AddressSanitizer build that
-# runs the full suite to prove the zero-copy string_view plumbing never
-# dangles, and an UndefinedBehaviorSanitizer build (-fno-sanitize-recover:
+# runs the full suite twice — arena on, then PARCEL_ARENA=0 — to prove
+# the zero-copy string_view plumbing never dangles on either allocation
+# path, and an UndefinedBehaviorSanitizer build (-fno-sanitize-recover:
 # first report aborts) over the full suite. Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -35,6 +37,27 @@ echo "==> Scheduler allocation regression + microbenchmarks (smoke)"
 
 echo "==> Parallel scaling bench (writes BENCH_parallel.json)"
 (cd build-ci/bench && ./bench_parallel_scaling --quick)
+
+echo "==> Kernel throughput gate (events/sec, replay, bytes-per-load)"
+# Full mode: the checked-in BENCH_kernel.json baseline was recorded in
+# full mode, and quick mode's smaller working set measures a different
+# cache regime. The compare leg fails on >10% throughput regression or
+# >10% allocation growth; see EXPERIMENTS.md for the regen recipe.
+(cd build-ci/bench && ./bench_kernel_throughput)
+./build-ci/bench/bench_kernel_throughput --compare \
+  build-ci/bench/BENCH_kernel.json BENCH_kernel.json
+echo "==> Kernel throughput gate: seeded regression must fail"
+sed -E 's/("scheduler_events_per_sec": )([0-9.e+]+)/\1\2e2/' \
+  BENCH_kernel.json > build-ci/bench/BENCH_kernel_doctored.json
+rc=0
+./build-ci/bench/bench_kernel_throughput --compare \
+  build-ci/bench/BENCH_kernel.json \
+  build-ci/bench/BENCH_kernel_doctored.json > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "kernel gate exit code on doctored baseline: $rc (want 1)"
+  exit 1
+fi
+echo "kernel gate correctly rejects a doctored 100x-faster baseline (exit 1)"
 
 echo "==> Parse cache smoke (2-page corpus, hit rate must be > 0)"
 (cd build-ci/bench && ./bench_parse_cache --pages 2 --rounds 1)
@@ -74,6 +97,12 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target parcel_tests
 ./build-asan/tests/parcel_tests
+
+echo "==> AddressSanitizer + PARCEL_ARENA=0: full suite with arena off"
+# The kill switch routes every run_resource() container to the default
+# heap resource; the full suite must stay green and leak-free so the
+# arena-off fallback path is always shippable.
+PARCEL_ARENA=0 ./build-asan/tests/parcel_tests
 
 echo "==> UndefinedBehaviorSanitizer: full suite (first UB report aborts)"
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

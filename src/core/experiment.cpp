@@ -311,17 +311,32 @@ RunResult run_cloud(const web::WebPage& page, const RunConfig& config) {
 
 RunResult ExperimentRunner::run(Scheme scheme, const web::WebPage& page,
                                 const RunConfig& config) {
+  // One arena per run, installed for this thread: the scheduler heap, the
+  // capture trace's columns and the browsers' per-load bookkeeping all
+  // bump out of it and are released wholesale when the run returns
+  // (DESIGN.md §11). RunResult keeps default-resource containers, so
+  // nothing escaping this frame can alias the arena.
+  core::Arena arena;
+  core::ArenaScope arena_scope(arena);
+  RunResult result;
   switch (scheme) {
     case Scheme::kDir:
-      return run_dir(page, config);
+      result = run_dir(page, config);
+      break;
     case Scheme::kHttpProxy:
     case Scheme::kSpdyProxy:
-      return run_proxied(scheme, page, config);
+      result = run_proxied(scheme, page, config);
+      break;
     case Scheme::kCloudBrowser:
-      return run_cloud(page, config);
+      result = run_cloud(page, config);
+      break;
     default:
-      return run_parcel(scheme, page, config);
+      result = run_parcel(scheme, page, config);
+      break;
   }
+  result.arena_bytes = arena.bytes_allocated();
+  result.arena_allocations = arena.allocation_count();
+  return result;
 }
 
 namespace {

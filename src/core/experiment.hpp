@@ -73,6 +73,13 @@ struct RunResult {
   util::Duration recovery = util::Duration::zero();
 
   trace::PacketTrace trace;  // kept for timeline figures (6a, 7a)
+
+  // Allocation telemetry from this run's arena (DESIGN.md §11): bytes and
+  // allocation calls served by the bump allocator. Zero when the arena is
+  // disabled (PARCEL_ARENA=0 / set_arena_enabled(false)); never part of
+  // the simulated outcome — placement cannot feed results.
+  std::size_t arena_bytes = 0;
+  std::size_t arena_allocations = 0;
 };
 
 class ExperimentRunner {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "lte/radio_link.hpp"
 #include "net/fault_injector.hpp"
 #include "net/network.hpp"
@@ -91,7 +92,11 @@ class Testbed {
   TestbedConfig config_;
   sim::Scheduler sched_;
   net::Network network_;
-  trace::PacketTrace trace_;
+  // The capture trace grows one column row per radio burst for the whole
+  // run; bump its columns out of the run arena when one is in scope. The
+  // trace is handed off to RunResult by move-*assignment*, which lands
+  // element-wise on the default heap (never aliases the arena).
+  trace::PacketTrace trace_{core::run_resource()};
   util::Rng topo_rng_;
   std::unique_ptr<net::FaultInjector> faults_;
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/arena.hpp"
 #include "core/parallel_runner.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -95,7 +96,11 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
 
   // ---- Macro phase: one shared timeline for arrivals, the store, and
   // proxy compute. Serial by construction; depends only on the corpus
-  // pages and the specs, never on micro-run outputs.
+  // pages and the specs, never on micro-run outputs. The macro scheduler
+  // heap bumps out of its own arena; micro-runs install per-run arenas of
+  // their own inside ExperimentRunner::run (worker threads, nested fine).
+  core::Arena macro_arena;
+  core::ArenaScope macro_scope(macro_arena);
   sim::Scheduler macro;
   const sim::FaultPlan* plan =
       config.base.testbed.faults.enabled() ? &config.base.testbed.faults
@@ -109,7 +114,7 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
       const ClientSpec& spec = specs[i];
       MacroState& state = states[i];
       const web::WebPage& page = *corpus[spec.page_index];
-      std::vector<const web::WebObject*> objects = page.objects();
+      const std::vector<const web::WebObject*>& objects = page.objects();
 
       // Admission control: size the whole task batch first (503-style —
       // a client is either served or refused, never half-queued). Misses

@@ -75,16 +75,18 @@ EnergyReport EnergyAnalyzer::analyze(const trace::PacketTrace& trace,
   EnergyReport r;
   if (trace.empty()) return r;
 
-  auto records = trace.records();
+  // The RRC replay only needs burst times, so scan the time column alone
+  // (8 contiguous bytes per record) rather than materializing full rows.
+  auto times = trace.times();
   // Promotion from IDLE precedes the first record: the device paid it to
   // send that packet.
-  TimePoint start = records.front().t - config_.promo_from_idle;
-  add_interval(r, start, records.front().t, RrcState::kPromotion);
+  TimePoint start = times.front() - config_.promo_from_idle;
+  add_interval(r, start, times.front(), RrcState::kPromotion);
   ++r.promotions_from_idle;
 
-  TimePoint activity_end = records.front().t;
-  for (std::size_t i = 1; i < records.size(); ++i) {
-    TimePoint t = records[i].t;
+  TimePoint activity_end = times.front();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    TimePoint t = times[i];
     Duration gap = t - activity_end;
     RrcState resume_state = config_.state_after_gap(gap);
     if (resume_state == RrcState::kCr) {

@@ -11,52 +11,63 @@ namespace parcel::trace {
 void PacketTrace::record(PacketRecord r) {
   // Bursts are produced by multiple connections whose events interleave in
   // time order already (the scheduler fires them in order), but promotion
-  // retiming can produce slight inversions; keep the trace sorted.
-  if (!records_.empty() && r.t < records_.back().t) {
-    auto it = std::upper_bound(
-        records_.begin(), records_.end(), r,
-        [](const PacketRecord& a, const PacketRecord& b) { return a.t < b.t; });
-    records_.insert(it, r);
+  // retiming can produce slight inversions; keep the columns sorted.
+  // Matching the old AoS upper_bound-on-record semantics: an inverted
+  // record is inserted *after* any existing records with an equal t.
+  if (!t_.empty() && r.t < t_.back()) {
+    auto it = std::upper_bound(t_.begin(), t_.end(), r.t);
+    auto i = static_cast<std::size_t>(it - t_.begin());
+    t_.insert(t_.begin() + static_cast<std::ptrdiff_t>(i), r.t);
+    dir_.insert(dir_.begin() + static_cast<std::ptrdiff_t>(i), r.dir);
+    kind_.insert(kind_.begin() + static_cast<std::ptrdiff_t>(i), r.kind);
+    bytes_.insert(bytes_.begin() + static_cast<std::ptrdiff_t>(i), r.bytes);
+    conn_.insert(conn_.begin() + static_cast<std::ptrdiff_t>(i), r.conn_id);
+    obj_.insert(obj_.begin() + static_cast<std::ptrdiff_t>(i), r.object_id);
     return;
   }
-  records_.push_back(r);
+  t_.push_back(r.t);
+  dir_.push_back(r.dir);
+  kind_.push_back(r.kind);
+  bytes_.push_back(r.bytes);
+  conn_.push_back(r.conn_id);
+  obj_.push_back(r.object_id);
 }
 
 Bytes PacketTrace::total_bytes() const {
   Bytes n = 0;
-  for (const auto& r : records_) n += r.bytes;
+  for (Bytes b : bytes_) n += b;
   return n;
 }
 
 Bytes PacketTrace::downlink_bytes() const {
   Bytes n = 0;
-  for (const auto& r : records_) {
-    if (r.dir == Direction::kDownlink) n += r.bytes;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    if (dir_[i] == Direction::kDownlink) n += bytes_[i];
   }
   return n;
 }
 
 Bytes PacketTrace::uplink_bytes() const {
   Bytes n = 0;
-  for (const auto& r : records_) {
-    if (r.dir == Direction::kUplink) n += r.bytes;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    if (dir_[i] == Direction::kUplink) n += bytes_[i];
   }
   return n;
 }
 
 TimePoint PacketTrace::first_time() const {
-  if (records_.empty()) throw std::logic_error("first_time on empty trace");
-  return records_.front().t;
+  if (t_.empty()) throw std::logic_error("first_time on empty trace");
+  return t_.front();
 }
 
 TimePoint PacketTrace::last_time() const {
-  if (records_.empty()) throw std::logic_error("last_time on empty trace");
-  return records_.back().t;
+  if (t_.empty()) throw std::logic_error("last_time on empty trace");
+  return t_.back();
 }
 
 std::optional<TimePoint> PacketTrace::first_syn_time() const {
-  for (const auto& r : records_) {
-    if (r.kind == PacketKind::kSyn) return r.t;
+  for (std::size_t i = 0; i < kind_.size(); ++i) {
+    if (kind_[i] == PacketKind::kSyn) return t_[i];
   }
   return std::nullopt;
 }
@@ -66,59 +77,94 @@ std::optional<TimePoint> PacketTrace::last_time_of_objects(
   std::unordered_set<std::uint32_t> wanted(object_ids.begin(),
                                            object_ids.end());
   std::optional<TimePoint> last;
-  for (const auto& r : records_) {
-    if (r.object_id != 0 && wanted.count(r.object_id) > 0) {
-      if (!last || r.t > *last) last = r.t;
+  for (std::size_t i = 0; i < obj_.size(); ++i) {
+    if (obj_[i] != 0 && wanted.count(obj_[i]) > 0) {
+      if (!last || t_[i] > *last) last = t_[i];
     }
   }
   return last;
 }
 
 std::size_t PacketTrace::connection_count() const {
-  std::unordered_set<std::uint32_t> conns;
-  for (const auto& r : records_) conns.insert(r.conn_id);
+  std::unordered_set<std::uint32_t> conns(conn_.begin(), conn_.end());
   return conns.size();
 }
 
 void PacketTrace::record_fault(FaultEvent e) {
-  if (!fault_events_.empty() && e.t < fault_events_.back().t) {
-    auto it = std::upper_bound(
-        fault_events_.begin(), fault_events_.end(), e,
-        [](const FaultEvent& a, const FaultEvent& b) { return a.t < b.t; });
-    fault_events_.insert(it, e);
+  if (!fault_t_.empty() && e.t < fault_t_.back()) {
+    auto it = std::upper_bound(fault_t_.begin(), fault_t_.end(), e.t);
+    auto i = static_cast<std::size_t>(it - fault_t_.begin());
+    fault_t_.insert(fault_t_.begin() + static_cast<std::ptrdiff_t>(i), e.t);
+    fault_kind_.insert(fault_kind_.begin() + static_cast<std::ptrdiff_t>(i),
+                       e.kind);
+    fault_bytes_.insert(fault_bytes_.begin() + static_cast<std::ptrdiff_t>(i),
+                        e.bytes);
+    fault_conn_.insert(fault_conn_.begin() + static_cast<std::ptrdiff_t>(i),
+                       e.conn_id);
     return;
   }
-  fault_events_.push_back(e);
+  fault_t_.push_back(e.t);
+  fault_kind_.push_back(e.kind);
+  fault_bytes_.push_back(e.bytes);
+  fault_conn_.push_back(e.conn_id);
 }
 
 std::size_t PacketTrace::fault_count(FaultKind kind) const {
   std::size_t n = 0;
-  for (const auto& e : fault_events_) {
-    if (e.kind == kind) ++n;
+  for (FaultKind k : fault_kind_) {
+    if (k == kind) ++n;
   }
   return n;
 }
 
 void PacketTrace::truncate_after(TimePoint cutoff) {
-  std::erase_if(records_,
-                [cutoff](const PacketRecord& r) { return r.t > cutoff; });
-  std::erase_if(fault_events_,
-                [cutoff](const FaultEvent& e) { return e.t > cutoff; });
+  // Columns are sorted by time, so everything past the cutoff is a suffix;
+  // resizing each column to the partition point is equivalent to the old
+  // erase_if over records.
+  auto keep = static_cast<std::size_t>(
+      std::upper_bound(t_.begin(), t_.end(), cutoff) - t_.begin());
+  t_.resize(keep);
+  dir_.resize(keep);
+  kind_.resize(keep);
+  bytes_.resize(keep);
+  conn_.resize(keep);
+  obj_.resize(keep);
+  auto fkeep = static_cast<std::size_t>(
+      std::upper_bound(fault_t_.begin(), fault_t_.end(), cutoff) -
+      fault_t_.begin());
+  fault_t_.resize(fkeep);
+  fault_kind_.resize(fkeep);
+  fault_bytes_.resize(fkeep);
+  fault_conn_.resize(fkeep);
+}
+
+void PacketTrace::clear() {
+  t_.clear();
+  dir_.clear();
+  kind_.clear();
+  bytes_.clear();
+  conn_.clear();
+  obj_.clear();
+  fault_t_.clear();
+  fault_kind_.clear();
+  fault_bytes_.clear();
+  fault_conn_.clear();
 }
 
 std::string PacketTrace::serialize() const {
   std::string out;
   char buf[128];
-  for (const auto& r : records_) {
-    std::snprintf(buf, sizeof(buf), "%.6f %u %u %lld %u %u\n", r.t.sec(),
-                  static_cast<unsigned>(r.dir), static_cast<unsigned>(r.kind),
-                  static_cast<long long>(r.bytes), r.conn_id, r.object_id);
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6f %u %u %lld %u %u\n", t_[i].sec(),
+                  static_cast<unsigned>(dir_[i]),
+                  static_cast<unsigned>(kind_[i]),
+                  static_cast<long long>(bytes_[i]), conn_[i], obj_[i]);
     out += buf;
   }
-  for (const auto& e : fault_events_) {
-    std::snprintf(buf, sizeof(buf), "F %.6f %u %lld %u\n", e.t.sec(),
-                  static_cast<unsigned>(e.kind), static_cast<long long>(e.bytes),
-                  e.conn_id);
+  for (std::size_t i = 0; i < fault_t_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "F %.6f %u %lld %u\n", fault_t_[i].sec(),
+                  static_cast<unsigned>(fault_kind_[i]),
+                  static_cast<long long>(fault_bytes_[i]), fault_conn_[i]);
     out += buf;
   }
   return out;

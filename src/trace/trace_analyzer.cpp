@@ -19,34 +19,44 @@ std::optional<LatencyMetrics> TraceAnalyzer::latency_metrics(
 
 std::size_t TraceAnalyzer::count_gaps_longer_than(const PacketTrace& trace,
                                                   util::Duration gap) {
+  // Column scan: only the time and kind columns are touched (SoA replay
+  // fast path, DESIGN.md §11).
+  auto times = trace.times();
+  auto kinds = trace.kinds();
   std::size_t n = 0;
   std::optional<util::TimePoint> prev;
-  for (const auto& r : trace.records()) {
-    if (r.kind != PacketKind::kData) continue;
-    if (prev && (r.t - *prev) > gap) ++n;
-    prev = r.t;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (kinds[i] != PacketKind::kData) continue;
+    if (prev && (times[i] - *prev) > gap) ++n;
+    prev = times[i];
   }
   return n;
 }
 
 util::Duration TraceAnalyzer::recovery_time(const PacketTrace& trace) {
-  auto faults = trace.fault_events();
-  if (faults.empty()) return util::Duration::zero();
-  util::TimePoint first_fault = faults.front().t;
-  for (const auto& r : trace.records()) {
-    if (r.kind != PacketKind::kData) continue;
-    if (r.t >= first_fault) return r.t - first_fault;
+  auto fault_times = trace.fault_times();
+  if (fault_times.empty()) return util::Duration::zero();
+  util::TimePoint first_fault = fault_times.front();
+  auto times = trace.times();
+  auto kinds = trace.kinds();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (kinds[i] != PacketKind::kData) continue;
+    if (times[i] >= first_fault) return times[i] - first_fault;
   }
   return util::Duration::zero();
 }
 
 util::Bytes TraceAnalyzer::downlink_bytes_before(const PacketTrace& trace,
                                                  util::TimePoint t) {
+  auto times = trace.times();
+  auto dirs = trace.directions();
+  auto kinds = trace.kinds();
+  auto sizes = trace.sizes();
   util::Bytes total = 0;
-  for (const auto& r : trace.records()) {
-    if (r.t > t) break;
-    if (r.dir == Direction::kDownlink && r.kind == PacketKind::kData) {
-      total += r.bytes;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] > t) break;
+    if (dirs[i] == Direction::kDownlink && kinds[i] == PacketKind::kData) {
+      total += sizes[i];
     }
   }
   return total;

@@ -1,0 +1,14 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace parcel::util {
+
+bool env_flag(const char* name, bool default_on) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_on;
+  return std::strcmp(env, "0") != 0;
+}
+
+}  // namespace parcel::util

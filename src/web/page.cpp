@@ -1,5 +1,6 @@
 #include "web/page.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace parcel::web {
@@ -11,6 +12,15 @@ void WebPage::add(WebObject object) {
   }
   auto [it, _] = objects_.emplace(std::move(key), std::move(object));
   const WebObject& stored = it->second;
+  // Keep the caches in the map's sorted-by-URL-key order: the new node's
+  // position in the map is its position in the cache.
+  objects_cache_.insert(
+      objects_cache_.begin() + std::distance(objects_.begin(), it), &stored);
+  auto dom = std::lower_bound(domains_cache_.begin(), domains_cache_.end(),
+                              stored.url.host());
+  if (dom == domains_cache_.end() || *dom != stored.url.host()) {
+    domains_cache_.insert(dom, stored.url.host());
+  }
   by_id_[stored.url.id()] = &stored;
   // For query-variant siblings sharing host+path, the lexicographically
   // smallest full URL owns the normalized key — the same winner
@@ -26,9 +36,18 @@ void WebPage::add(WebObject object) {
 void WebPage::rebuild_index() {
   by_id_.clear();
   by_norm_id_.clear();
+  objects_cache_.clear();
+  domains_cache_.clear();
+  objects_cache_.reserve(objects_.size());
   for (const auto& [_, obj] : objects_) {
     by_id_[obj.url.id()] = &obj;
     by_norm_id_.emplace(obj.url.normalized_id(), &obj);
+    objects_cache_.push_back(&obj);
+    auto dom = std::lower_bound(domains_cache_.begin(), domains_cache_.end(),
+                                obj.url.host());
+    if (dom == domains_cache_.end() || *dom != obj.url.host()) {
+      domains_cache_.insert(dom, obj.url.host());
+    }
   }
 }
 
@@ -74,25 +93,12 @@ std::size_t WebPage::count_of(ObjectType t) const {
   return n;
 }
 
-std::vector<const WebObject*> WebPage::objects() const {
-  std::vector<const WebObject*> out;
-  out.reserve(objects_.size());
-  for (const auto& [_, obj] : objects_) out.push_back(&obj);
-  return out;
-}
-
 std::vector<const WebObject*> WebPage::objects_on(
     const std::string& domain) const {
   std::vector<const WebObject*> out;
   for (const auto& [_, obj] : objects_) {
     if (obj.url.host() == domain) out.push_back(&obj);
   }
-  return out;
-}
-
-std::set<std::string> WebPage::domains() const {
-  std::set<std::string> out;
-  for (const auto& [_, obj] : objects_) out.insert(obj.url.host());
   return out;
 }
 

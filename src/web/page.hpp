@@ -4,7 +4,6 @@
 #pragma once
 
 #include <map>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,11 +50,20 @@ class WebPage {
   /// Aggregate size of the onload set (the paper's B in §6).
   [[nodiscard]] Bytes onload_bytes() const;
 
-  [[nodiscard]] std::vector<const WebObject*> objects() const;
+  /// All objects in sorted-by-URL order. Returns the incrementally
+  /// maintained cache (updated at add()/rebuild_index() time, never
+  /// lazily on const access — pages are shared read-only across worker
+  /// threads, so const methods must not mutate).
+  [[nodiscard]] const std::vector<const WebObject*>& objects() const {
+    return objects_cache_;
+  }
   [[nodiscard]] std::vector<const WebObject*> objects_on(
       const std::string& domain) const;
 
-  [[nodiscard]] std::set<std::string> domains() const;
+  /// Distinct hosting domains, sorted; cached like objects().
+  [[nodiscard]] const std::vector<std::string>& domains() const {
+    return domains_cache_;
+  }
 
   /// Mutable access for the replay normalizer's content rewriting.
   [[nodiscard]] std::vector<WebObject*> mutable_objects();
@@ -73,6 +81,13 @@ class WebPage {
   std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash> by_id_;
   std::unordered_map<net::UrlId, const WebObject*, net::UrlIdHash>
       by_norm_id_;
+  // Corpus-boundary caches: hot consumers (OriginServer::host, the fleet
+  // macro phase, Testbed::host_page) used to rebuild these containers on
+  // every call, once per run per page. Maintained at mutation time so
+  // const reads stay thread-safe; same deterministic sorted-by-URL-key
+  // order the map walk produced.
+  std::vector<const WebObject*> objects_cache_;
+  std::vector<std::string> domains_cache_;
 };
 
 }  // namespace parcel::web

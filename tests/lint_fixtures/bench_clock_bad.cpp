@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock alias without the suppression — the
+// alias line itself must be flagged, not just direct now() calls.
+#include <chrono>
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}

@@ -1,0 +1,11 @@
+// Fixture: the gated-benchmark idiom from bench_kernel_throughput.cpp —
+// a deliberately wall-clock alias, suppressed with a reason on the
+// standalone line above it.
+#include <chrono>
+
+// parcel-lint: allow(nondet-time) wall-clock is the measurement in a throughput bench
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}

@@ -1,0 +1,180 @@
+// Per-run arena allocator (DESIGN.md §11): bump mechanics, the
+// thread-local scope plumbing, the kill switch, and the headline
+// invariant — arena on/off never changes simulation results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "core/arena.hpp"
+#include "core/experiment.hpp"
+#include "sim/scheduler.hpp"
+#include "web/generator.hpp"
+
+namespace parcel::core {
+namespace {
+
+// Restores the process-wide arena flag so tests cannot leak a disabled
+// arena into the rest of the suite.
+class ArenaFlagGuard {
+ public:
+  ArenaFlagGuard() : prev_(arena_enabled()) {}
+  ~ArenaFlagGuard() { set_arena_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(Arena, BumpAllocatesAndCountsBytes) {
+  Arena arena;
+  void* a = arena.allocate(100, 8);
+  void* b = arena.allocate(100, 8);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.bytes_allocated(), 200u);
+  EXPECT_EQ(arena.allocation_count(), 2u);
+  EXPECT_GE(arena.bytes_reserved(), 200u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  arena.allocate(1, 1);
+  for (std::size_t align : {8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(Arena, GrowsChunksAndHandlesOversizedRequests) {
+  Arena arena(1024);
+  // Exhaust the first chunk and force growth.
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  EXPECT_GE(arena.chunk_count(), 2u);
+  // A request bigger than any chunk gets a dedicated one.
+  void* big = arena.allocate(1 << 20, 8);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), static_cast<std::size_t>(1 << 20));
+}
+
+TEST(Arena, ResetRetainsCapacityAndRewinds) {
+  Arena arena(1024);
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.allocation_count(), 0u);
+  EXPECT_EQ(arena.reset_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // capacity kept
+  // Recycled capacity serves the next round without growing.
+  std::size_t chunks = arena.chunk_count();
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, ZeroByteAllocationYieldsDistinctPointers) {
+  Arena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaScope, InstallsAndRestoresThreadLocalResource) {
+  // Force the flag on so the test also passes under the PARCEL_ARENA=0
+  // CI leg — it is about scope mechanics, not the kill switch.
+  ArenaFlagGuard guard;
+  set_arena_enabled(true);
+  std::pmr::memory_resource* before = run_resource();
+  {
+    Arena arena;
+    ArenaScope scope(arena);
+    EXPECT_NE(run_resource(), before);
+    // Nested scopes shadow and restore in LIFO order.
+    {
+      Arena inner;
+      ArenaScope inner_scope(inner);
+      std::pmr::vector<int> v(run_resource());
+      v.push_back(7);
+      EXPECT_GT(inner.bytes_allocated(), 0u);
+      EXPECT_EQ(arena.bytes_allocated(), 0u);
+    }
+    std::pmr::vector<int> v(run_resource());
+    v.push_back(7);
+    EXPECT_GT(arena.bytes_allocated(), 0u);
+  }
+  EXPECT_EQ(run_resource(), before);
+}
+
+TEST(ArenaScope, IsThreadLocal) {
+  ArenaFlagGuard guard;
+  set_arena_enabled(true);
+  Arena arena;
+  ArenaScope scope(arena);
+  std::pmr::memory_resource* other_thread = nullptr;
+  std::thread t([&] { other_thread = run_resource(); });
+  t.join();
+  EXPECT_EQ(other_thread, std::pmr::get_default_resource());
+  EXPECT_NE(run_resource(), std::pmr::get_default_resource());
+}
+
+TEST(ArenaScope, KillSwitchDisablesInstallation) {
+  ArenaFlagGuard guard;
+  set_arena_enabled(false);
+  Arena arena;
+  ArenaScope scope(arena);
+  EXPECT_EQ(run_resource(), std::pmr::get_default_resource());
+  std::pmr::vector<int> v(run_resource());
+  v.push_back(7);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+}
+
+TEST(ArenaScope, SchedulerDrawsFromActiveArena) {
+  ArenaFlagGuard guard;
+  set_arena_enabled(true);
+  Arena arena;
+  ArenaScope scope(arena);
+  sim::Scheduler sched;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_after(util::Duration::micros(i), [&] { ++fired; });
+  }
+  sched.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+}
+
+// The headline invariant: a full experiment run is bitwise identical with
+// the arena on and off, and the result never retains arena memory (the
+// returned trace is usable long after the run's arena died).
+TEST(ArenaIdentity, FullRunBitwiseIdenticalArenaOnAndOff) {
+  web::PageSpec spec;
+  spec.object_count = 25;
+  spec.total_bytes = util::kib(600);
+  spec.seed = 11;
+  web::WebPage page = web::PageGenerator::generate(spec);
+  RunConfig cfg;
+  cfg.seed = 5;
+
+  ArenaFlagGuard guard;
+  set_arena_enabled(true);
+  RunResult on = ExperimentRunner::run(Scheme::kParcelInd, page, cfg);
+  set_arena_enabled(false);
+  RunResult off = ExperimentRunner::run(Scheme::kParcelInd, page, cfg);
+
+  EXPECT_EQ(on.olt.sec(), off.olt.sec());  // bitwise: EXPECT_EQ, no near
+  EXPECT_EQ(on.tlt.sec(), off.tlt.sec());
+  EXPECT_EQ(on.radio.total.j(), off.radio.total.j());
+  EXPECT_EQ(on.downlink_bytes, off.downlink_bytes);
+  EXPECT_EQ(on.uplink_bytes, off.uplink_bytes);
+  EXPECT_EQ(on.tcp_connections, off.tcp_connections);
+  EXPECT_EQ(on.trace.serialize(), off.trace.serialize());
+  // Arena telemetry reflects the switch.
+  EXPECT_GT(on.arena_bytes, 0u);
+  EXPECT_GT(on.arena_allocations, 0u);
+  EXPECT_EQ(off.arena_bytes, 0u);
+  EXPECT_EQ(off.arena_allocations, 0u);
+}
+
+}  // namespace
+}  // namespace parcel::core

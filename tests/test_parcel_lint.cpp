@@ -145,6 +145,39 @@ TEST(ParcelLint, SuppressionNamingUnknownRuleIsHardError) {
   EXPECT_NE(rep.errors[0].find("nondet-tyme"), std::string::npos);
 }
 
+TEST(ParcelLint, BenchClockAliasIdiomSuppressedOnlyWithReason) {
+  // The kernel-throughput bench aliases a wall clock on purpose; the
+  // suppression-with-reason idiom it uses must silence the alias line,
+  // and the bare alias must still be flagged.
+  FileReport ok = lint_fixture("bench_clock_ok.cpp");
+  EXPECT_TRUE(ok.findings.empty()) << ok.findings[0].message;
+  FileReport bad = lint_fixture("bench_clock_bad.cpp");
+  EXPECT_EQ(rules_of(bad).count("nondet-time"), 1u);
+}
+
+TEST(ParcelLint, BenchFilesAreInRepoLintScope) {
+  // lint.rules must keep the gated benches under the determinism rules:
+  // a scoped config that mirrors the shipped scopes applies to them.
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(parse_config(
+      "scope float-double-drift = src/lte bench/bench_kernel_throughput.cpp\n",
+      cfg, error))
+      << error;
+  EXPECT_TRUE(
+      cfg.applies("float-double-drift", "bench/bench_kernel_throughput.cpp"));
+  EXPECT_FALSE(cfg.applies("float-double-drift", "bench/bench_pipeline.cpp"));
+
+  // And the shipped lint.rules itself names both bench files in-scope.
+  std::ifstream rules(std::string(PARCEL_LINT_REPO_ROOT) + "/lint.rules");
+  ASSERT_TRUE(rules.good());
+  std::ostringstream ss;
+  ss << rules.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("bench/bench_kernel_throughput.cpp"), std::string::npos);
+  EXPECT_NE(text.find("bench/bench_micro.cpp"), std::string::npos);
+}
+
 TEST(ParcelLint, SuppressionForDifferentRuleDoesNotSuppress) {
   Config cfg;
   const std::string src =

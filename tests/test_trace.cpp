@@ -120,6 +120,123 @@ TEST(TraceAnalyzer, GapCounting) {
             2u);
 }
 
+// ---- SoA layout regression suite (DESIGN.md §11) -----------------------
+// The trace stores one column per PacketRecord field; these tests pin the
+// properties the layout change must not move: serialized bytes, sorted
+// insertion semantics, truncate behaviour over both channels, and the
+// records()/fault_events() views matching the raw columns row for row.
+
+TEST(PacketTraceSoA, FaultFreeSerializationPinnedByteForByte) {
+  // A fault-free trace must serialize to exactly the pre-SoA text — the
+  // replay store's on-disk format is part of the public surface.
+  PacketTrace trace;
+  trace.record(rec(0.123456, Direction::kUplink, PacketKind::kSyn, 40, 3, 0));
+  trace.record(rec(1.5, Direction::kDownlink, PacketKind::kData, 1448, 3, 9));
+  EXPECT_EQ(trace.serialize(),
+            "0.123456 0 0 40 3 0\n"
+            "1.500000 1 1 1448 3 9\n");
+}
+
+TEST(PacketTraceSoA, RoundTripWithFaultEvents) {
+  PacketTrace trace;
+  trace.record(rec(0.5, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 1448, 1, 7));
+  trace.record_fault(FaultEvent{TimePoint::at_seconds(0.75),
+                                FaultKind::kBlackout, 512, 1});
+  trace.record_fault(FaultEvent{TimePoint::at_seconds(0.9),
+                                FaultKind::kLoss, 1448, 2});
+  PacketTrace copy = PacketTrace::deserialize(trace.serialize());
+  ASSERT_EQ(copy.size(), 2u);
+  ASSERT_EQ(copy.fault_events().size(), 2u);
+  EXPECT_EQ(copy.fault_events()[0].kind, FaultKind::kBlackout);
+  EXPECT_EQ(copy.fault_events()[0].bytes, 512);
+  EXPECT_EQ(copy.fault_events()[1].conn_id, 2u);
+  EXPECT_EQ(copy.serialize(), trace.serialize());
+}
+
+TEST(PacketTraceSoA, TruncateDropsSuffixOfBothChannels) {
+  PacketTrace trace;
+  trace.record(rec(1, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record(rec(2, Direction::kDownlink, PacketKind::kData, 10, 1, 1));
+  trace.record(rec(61, Direction::kDownlink, PacketKind::kData, 10, 1, 2));
+  trace.record_fault(
+      FaultEvent{TimePoint::at_seconds(1.5), FaultKind::kLoss, 10, 1});
+  trace.record_fault(
+      FaultEvent{TimePoint::at_seconds(62), FaultKind::kBlackout, 10, 1});
+  trace.truncate_after(TimePoint::at_seconds(60));
+  EXPECT_EQ(trace.size(), 2u);
+  ASSERT_EQ(trace.fault_events().size(), 1u);
+  EXPECT_EQ(trace.fault_events()[0].kind, FaultKind::kLoss);
+  // Cutoff exactly on a record keeps it (t <= cutoff semantics).
+  trace.truncate_after(TimePoint::at_seconds(2));
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(PacketTraceSoA, ColumnsMatchRecordViewRowForRow) {
+  PacketTrace trace;
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 10, 4, 1));
+  trace.record(rec(1.0, Direction::kUplink, PacketKind::kSyn, 4, 3, 0));
+  trace.record(rec(3.0, Direction::kDownlink, PacketKind::kAck, 0, 4, 2));
+  auto records = trace.records();
+  ASSERT_EQ(records.size(), trace.times().size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    PacketRecord r = records[i];
+    EXPECT_EQ(r.t, trace.times()[i]);
+    EXPECT_EQ(r.dir, trace.directions()[i]);
+    EXPECT_EQ(r.kind, trace.kinds()[i]);
+    EXPECT_EQ(r.bytes, trace.sizes()[i]);
+    EXPECT_EQ(r.conn_id, trace.conn_ids()[i]);
+    EXPECT_EQ(r.object_id, trace.object_ids()[i]);
+  }
+  // Columns are sorted by time regardless of insertion order.
+  EXPECT_DOUBLE_EQ(trace.times().front().sec(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.times().back().sec(), 3.0);
+}
+
+TEST(PacketTraceSoA, ViewIteratorsSupportRandomAccessAndRangeFor) {
+  PacketTrace trace;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    trace.record(rec(t, Direction::kDownlink, PacketKind::kData, 100, 1, 1));
+  }
+  auto records = trace.records();
+  auto it = records.begin();
+  EXPECT_EQ(records.end() - it, 4);
+  EXPECT_DOUBLE_EQ((*(it + 2)).t.sec(), 2.0);
+  EXPECT_DOUBLE_EQ(it[3].t.sec(), 4.0);
+  EXPECT_DOUBLE_EQ(records.front().t.sec(), 0.5);
+  EXPECT_DOUBLE_EQ(records.back().t.sec(), 4.0);
+  double sum = 0;
+  for (const auto& r : records) sum += r.t.sec();
+  EXPECT_DOUBLE_EQ(sum, 7.5);
+}
+
+TEST(PacketTraceSoA, EqualTimestampInversionInsertsAfterEqualRecords) {
+  // Matches the pre-SoA upper_bound semantics: a late record carrying an
+  // already-seen timestamp lands after every record with that timestamp.
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 1, 1, 1));
+  trace.record(rec(2.0, Direction::kDownlink, PacketKind::kData, 2, 1, 2));
+  trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 3, 1, 3));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.records()[0].object_id, 1u);
+  EXPECT_EQ(trace.records()[1].object_id, 3u);  // after the equal record
+  EXPECT_EQ(trace.records()[2].object_id, 2u);
+}
+
+TEST(PacketTraceSoA, CopyAndClearPreserveBothChannels) {
+  PacketTrace trace;
+  trace.record(rec(1.0, Direction::kUplink, PacketKind::kSyn, 40, 1, 0));
+  trace.record_fault(
+      FaultEvent{TimePoint::at_seconds(2), FaultKind::kDegraded, 0, 0});
+  PacketTrace copy = trace;
+  EXPECT_EQ(copy.serialize(), trace.serialize());
+  EXPECT_EQ(copy.fault_count(FaultKind::kDegraded), 1u);
+  copy.clear();
+  EXPECT_TRUE(copy.empty());
+  EXPECT_TRUE(copy.fault_events().empty());
+  EXPECT_EQ(trace.size(), 1u);  // the original is untouched
+}
+
 TEST(TraceAnalyzer, CumulativeDownlinkBytes) {
   PacketTrace trace;
   trace.record(rec(1.0, Direction::kDownlink, PacketKind::kData, 100, 1, 1));
