@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   store.record(live);
   const web::WebPage& page = *store.find(live.main_url().str());
   std::printf("page: %zu objects, %.2f MB, %zu domains\n", page.object_count(),
-              static_cast<double>(page.total_bytes()) / 1048576.0, page.domains().size());
+              static_cast<double>(page.total_bytes()) / 1048576.0, page.domain_names().size());
 
   core::RunConfig cfg = bench::replay_run_config(11);
   core::RunResult dir = core::ExperimentRunner::run(core::Scheme::kDir, page, cfg);

@@ -162,6 +162,10 @@ ReplayResult replay_throughput(std::size_t records, int reps) {
 struct LoadStats {
   std::size_t arena_bytes = 0;
   std::size_t arena_allocations = 0;
+  /// Simulated radio joules per scheduler event over the measured loads —
+  /// a deterministic energy-accounting drift alarm, not a wall-clock
+  /// number (ISSUE 7 satellite).
+  double sim_joules_per_event = 0;
 };
 
 /// Run DIR and PARCEL(IND) loads of one page twice — arena on, arena off —
@@ -202,12 +206,21 @@ LoadStats measure_load_allocation(const web::WebPage& page) {
     }
   }
   LoadStats stats;
+  double joules = 0;
+  std::uint64_t events = 0;
   for (const core::RunResult& r : on) {
     stats.arena_bytes += r.arena_bytes;
     stats.arena_allocations += r.arena_allocations;
+    joules += r.radio.total.j();
+    events += r.events_executed;
   }
   stats.arena_bytes /= on.size();
   stats.arena_allocations /= on.size();
+  if (events == 0) {
+    std::fprintf(stderr, "FAIL: runs executed zero scheduler events\n");
+    std::exit(1);
+  }
+  stats.sim_joules_per_event = joules / static_cast<double>(events);
   return stats;
 }
 
@@ -258,6 +271,7 @@ int compare_mode(const char* current_path, const char* baseline_path) {
       {"scheduler_events_per_sec", true},
       {"trace_replay_records_per_sec", true},
       {"bytes_allocated_per_load", false},
+      {"sim_joules_per_event", false},
   };
 
   bool ok = true;
@@ -322,6 +336,8 @@ int main(int argc, char** argv) {
   std::printf("identical\n");
   std::printf("bytes allocated per load (arena): %zu in %zu allocations\n",
               loads.arena_bytes, loads.arena_allocations);
+  std::printf("simulated energy per event: %.3g J/event\n",
+              loads.sim_joules_per_event);
 
   double events = scheduler_events_per_sec(chain_events, chain_reps);
   std::printf("scheduler kernel: %.2fM events/s (%d-event chains x%d)\n",
@@ -353,6 +369,8 @@ int main(int argc, char** argv) {
                loads.arena_bytes);
   std::fprintf(json, "  \"arena_allocations_per_load\": %zu,\n",
                loads.arena_allocations);
+  std::fprintf(json, "  \"sim_joules_per_event\": %.9g,\n",
+               loads.sim_joules_per_event);
   std::fprintf(json, "  \"arena_identical_results\": true\n");
   std::fprintf(json, "}\n");
   std::fclose(json);

@@ -114,6 +114,9 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       opts.workers = parse_positive_or_die(
           "--workers", flag_value("--workers", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--stream-clients") == 0) {
+      opts.stream_clients = parse_positive_or_die(
+          "--stream-clients", flag_value("--stream-clients", argc, argv, i));
     } else if (std::strcmp(argv[i], "--arrival-seed") == 0) {
       opts.arrival_seed = parse_u64_or_die(
           "--arrival-seed", flag_value("--arrival-seed", argc, argv, i));

@@ -41,6 +41,10 @@ struct BenchOptions {
   int clients = 16;
   int workers = 2;
   std::uint64_t arrival_seed = 2014;
+  /// Session count for the streaming-fleet leg (bench_fleet_scaling;
+  /// ISSUE 7). Large by design — streaming mode never materializes
+  /// per-session results, so this scales far past --clients.
+  int stream_clients = 100000;
   /// Fault plan applied to every run config built after parse_options
   /// (see replay_run_config / live_run_config). Off by default, so the
   /// BENCH_*.json baselines stay byte-comparable across builds.

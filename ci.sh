@@ -59,6 +59,21 @@ if [ "$rc" -ne 1 ]; then
 fi
 echo "kernel gate correctly rejects a doctored 100x-faster baseline (exit 1)"
 
+echo "==> Kernel energy gate: doctored joules-per-event baseline must fail"
+# Shrinking the baseline makes the current simulated energy-per-event look
+# like a >10% regression; the compare leg must refuse it.
+sed -E 's/("sim_joules_per_event": )([0-9.e+-]+)/\11e-9/' \
+  BENCH_kernel.json > build-ci/bench/BENCH_kernel_energy_doctored.json
+rc=0
+./build-ci/bench/bench_kernel_throughput --compare \
+  build-ci/bench/BENCH_kernel.json \
+  build-ci/bench/BENCH_kernel_energy_doctored.json > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "energy gate exit code on doctored baseline: $rc (want 1)"
+  exit 1
+fi
+echo "energy gate correctly rejects a doctored joules baseline (exit 1)"
+
 echo "==> Parse cache smoke (2-page corpus, hit rate must be > 0)"
 (cd build-ci/bench && ./bench_parse_cache --pages 2 --rounds 1)
 awk -F': ' '/"hit_rate"/ { rate = $2 + 0.0 }
@@ -85,12 +100,28 @@ awk -F': ' '/"deterministic_across_jobs"/ { det = ($2 ~ /true/) }
                   } else { print "fleet smoke FAILED"; exit 1 } }' \
   build-ci/bench/BENCH_fleet.json
 
+echo "==> Streaming fleet smoke (K=100000: sketches, epoch-parallel, RSS)"
+# The streaming leg runs K=100,000 sessions at --jobs 1 and 4, asserts
+# bitwise metric identity in-process, and checks the peak-RSS ceiling
+# (sub-linear memory in K); the bench exits nonzero on any violation, and
+# the awk pass re-asserts the recorded flags from the JSON.
+(cd build-ci/bench && ./bench_fleet_scaling --clients 4 --stream-clients 100000)
+awk -F': ' '/"identical_across_jobs"/ { ident = ($2 ~ /true/) }
+            /"epoch_parallel":/ { par = ($2 ~ /true/) }
+            /"epochs"/ { epochs = $2 + 0 }
+            /"peak_rss_ok"/ { rss = ($2 ~ /true/) }
+            END { if (ident && par && epochs > 1 && rss) {
+                    print "streaming smoke OK: identical across jobs, " \
+                          epochs " epochs, RSS bounded"
+                  } else { print "streaming fleet smoke FAILED"; exit 1 } }' \
+  build-ci/bench/BENCH_fleet.json
+
 echo "==> ThreadSanitizer: parallel runner + parse cache + fleet race-free"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:SharedStore.*:ProxyCompute.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:FleetStreaming.*:SharedStore.*:ProxyCompute.*'
 
 echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

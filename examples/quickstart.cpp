@@ -28,7 +28,7 @@ int main() {
   std::printf("page %s: %zu objects, %s across %zu domains\n\n",
               page.main_url().str().c_str(), page.object_count(),
               util::format_bytes(page.total_bytes()).c_str(),
-              page.domains().size());
+              page.domain_names().size());
 
   // 2. Run both schemes on a fresh simulated LTE testbed. RunConfig's
   //    defaults model a Galaxy-S3-class device on a production LTE cell.

@@ -52,7 +52,7 @@ void NetworkFetcher::fetch(const net::Url& url, web::ObjectType hint,
   if (config_.object_timeout <= Duration::zero() &&
       config_.max_fetch_retries <= 0) {
     // Fair-weather fast path: no guard state, no timers.
-    dns_.resolve(final_url.host(), [this, final_url, hint, object_id,
+    dns_.resolve(final_url.host_id(), [this, final_url, hint, object_id,
                                     on_result = std::move(on_result)] {
       net::HttpRequest request;
       request.url = final_url;
@@ -93,7 +93,7 @@ void NetworkFetcher::fetch_attempt(
           retry_after_backoff(url, hint, object_id, guard, on_result);
         });
   }
-  dns_.resolve(url.host(), [this, url, hint, object_id, guard, on_result] {
+  dns_.resolve(url.host_id(), [this, url, hint, object_id, guard, on_result] {
     net::HttpRequest request;
     request.url = url;
     pool_.fetch(
@@ -132,7 +132,7 @@ void NetworkFetcher::retry_after_backoff(
 void NetworkFetcher::post(
     const net::Url& url, util::Bytes body_bytes,
     std::function<void(const net::HttpResponse&)> on_response) {
-  dns_.resolve(url.host(), [this, url, body_bytes,
+  dns_.resolve(url.host_id(), [this, url, body_bytes,
                             on_response = std::move(on_response)] {
     net::HttpRequest request;
     request.method = net::HttpMethod::kPost;

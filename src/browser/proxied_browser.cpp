@@ -27,7 +27,7 @@ void RelayProxy::handle(const net::HttpRequest& request,
                         std::function<void(net::HttpResponse)> respond) {
   ++relayed_;
   net::HttpRequest upstream = request;
-  dns_.resolve(request.url.host(),
+  dns_.resolve(request.url.host_id(),
                [this, upstream = std::move(upstream),
                 respond = std::move(respond)]() mutable {
                  pool_.fetch(std::move(upstream), /*object_id=*/0,

@@ -104,6 +104,7 @@ void finalize_common(RunResult& result, Testbed& testbed,
   result.downlink_bytes = result.trace.downlink_bytes();
   result.uplink_bytes = result.trace.uplink_bytes();
   result.tcp_connections = result.trace.connection_count();
+  result.events_executed = testbed.scheduler().events_executed();
   if (const net::FaultInjector* faults = testbed.faults()) {
     result.fault_drops = faults->drops();
     result.fault_deferrals = faults->deferrals();

@@ -74,6 +74,12 @@ struct RunResult {
 
   trace::PacketTrace trace;  // kept for timeline figures (6a, 7a)
 
+  /// Discrete events the run's scheduler executed — the denominator for
+  /// simulated-joules-per-event (BENCH_kernel.json): radio energy per
+  /// unit of kernel work, a drift alarm for the event machinery's energy
+  /// accounting. Deterministic, so the bench gates it tightly.
+  std::uint64_t events_executed = 0;
+
   // Allocation telemetry from this run's arena (DESIGN.md §11): bytes and
   // allocation calls served by the bump allocator. Zero when the arena is
   // disabled (PARCEL_ARENA=0 / set_arena_enabled(false)); never part of

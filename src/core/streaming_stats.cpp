@@ -1,0 +1,116 @@
+#include "core/streaming_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace parcel::core {
+
+LogHistogram::LogHistogram(Layout layout) : layout_(layout) {
+  if (!(layout_.min_value > 0.0) || !std::isfinite(layout_.min_value)) {
+    throw std::invalid_argument(
+        "LogHistogram: min_value must be finite and > 0");
+  }
+  if (!(layout_.max_value > layout_.min_value) ||
+      !std::isfinite(layout_.max_value)) {
+    throw std::invalid_argument(
+        "LogHistogram: max_value must be finite and > min_value");
+  }
+  if (layout_.bins_per_decade < 1) {
+    throw std::invalid_argument("LogHistogram: bins_per_decade must be >= 1");
+  }
+  log_min_ = std::log(layout_.min_value);
+  double log_gamma =
+      std::log(10.0) / static_cast<double>(layout_.bins_per_decade);
+  inv_log_gamma_ = 1.0 / log_gamma;
+  double decades =
+      (std::log(layout_.max_value) - log_min_) / std::log(10.0);
+  regular_bins_ = static_cast<std::size_t>(std::ceil(
+                      decades * static_cast<double>(layout_.bins_per_decade))) +
+                  1;
+  counts_.assign(regular_bins_ + 2, 0);  // + underflow + overflow
+}
+
+std::size_t LogHistogram::bin_index(double value) const {
+  // NaN and anything below min_value (zero waits, negatives) land in the
+  // underflow bin; the comparison is written so NaN fails it.
+  if (!(value >= layout_.min_value)) return 0;
+  if (value >= layout_.max_value) return counts_.size() - 1;
+  double offset = (std::log(value) - log_min_) * inv_log_gamma_;
+  auto bin = static_cast<std::size_t>(std::max(0.0, std::floor(offset)));
+  // FP rounding at the top edge cannot escape the regular range.
+  bin = std::min(bin, regular_bins_ - 1);
+  return bin + 1;
+}
+
+void LogHistogram::add_n(double value, std::uint64_t n) {
+  counts_[bin_index(value)] += n;
+  total_ += n;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!(layout_ == other.layout_)) {
+    throw std::invalid_argument("LogHistogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double pct) const {
+  if (total_ == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(total_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen < rank) continue;
+    if (i == 0) return 0.0;  // below resolution (documented)
+    if (i == counts_.size() - 1) return layout_.max_value;
+    // Geometric midpoint of regular bin i-1: min * γ^(i-1+0.5).
+    double mid =
+        std::exp(log_min_ + (static_cast<double>(i - 1) + 0.5) / inv_log_gamma_);
+    return mid;
+  }
+  return layout_.max_value;  // unreachable: seen == total_ >= rank
+}
+
+double LogHistogram::relative_error_bound() const {
+  // γ = 10^(1/bins_per_decade); midpoint reporting is within √γ of any
+  // value in the bin.
+  double half_log_gamma = 0.5 / inv_log_gamma_;
+  return std::exp(half_log_gamma) - 1.0;
+}
+
+void StreamingStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  hist_.add(value);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  hist_.merge(other.hist_);
+}
+
+}  // namespace parcel::core

@@ -1,0 +1,125 @@
+// Streaming metric sketches for million-session fleet runs (ISSUE 7,
+// tentpole a; DESIGN.md §12).
+//
+// A fleet run at K = 10^6 cannot hold one RunResult per session, but the
+// headline fleet metrics are order statistics (p50/p95/p99 OLT, queue
+// waits) plus running sums. LogHistogram is the deterministic sketch that
+// makes those order statistics streamable:
+//
+//  * Fixed geometric bins over a configured value range — bin edges are a
+//    pure function of the Layout, never of the data. No sampling, no
+//    data-dependent bin splits: the same value always lands in the same
+//    bin on every thread, every --jobs value, every process.
+//
+//  * Integer bin counts, so merge is bin-wise u64 addition — exact,
+//    commutative and associative. Epoch-parallel fleet execution merges
+//    per-epoch sketches in epoch order and the result is bitwise
+//    independent of how the epochs were scheduled.
+//
+//  * Documented error bound: with bin-edge ratio γ (= 10^(1/bins_per_decade)),
+//    quantile() returns the geometric midpoint of the bin containing the
+//    nearest-rank order statistic, so the reported value is within a
+//    multiplicative factor √γ of the exact nearest-rank quantile:
+//    relative error <= √γ - 1 (2.4% at the default 48 bins/decade).
+//    Values below min_value (including zero — idle queues produce many
+//    zero waits) report as 0; values above max_value clamp to max_value.
+//
+// StreamingStats wraps a LogHistogram with exact count/sum/min/max so the
+// fleet can report exact totals and means next to bounded-error quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parcel::core {
+
+class LogHistogram {
+ public:
+  /// Bin geometry. Two histograms merge iff their layouts are equal. The
+  /// defaults span 1 µs .. 1 Ms (12 decades) of seconds-or-joules-scaled
+  /// metrics at 48 bins/decade: 576 bins, ~4.6 KB, 2.4% worst-case
+  /// relative quantile error.
+  struct Layout {
+    double min_value = 1e-6;
+    double max_value = 1e6;
+    int bins_per_decade = 48;
+    bool operator==(const Layout&) const = default;
+  };
+
+  /// Throws std::invalid_argument on a non-positive range, max <= min, or
+  /// bins_per_decade < 1.
+  explicit LogHistogram(Layout layout);
+  LogHistogram() : LogHistogram(Layout{}) {}
+
+  void add(double value) { add_n(value, 1); }
+  void add_n(double value, std::uint64_t n);
+
+  /// Bin-wise integer merge; throws std::invalid_argument on layout
+  /// mismatch. Exact: any merge order yields identical counts.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+
+  /// Nearest-rank quantile, `pct` in [0, 100]: the geometric midpoint of
+  /// the bin holding the ceil(pct/100 * count)-th smallest value (clamped
+  /// to [1, count]). 0.0 on an empty histogram or when the rank falls in
+  /// the underflow bin; max_value when it falls in the overflow bin.
+  [[nodiscard]] double quantile(double pct) const;
+
+  /// Worst-case relative error of quantile() vs the exact nearest-rank
+  /// order statistic, for values inside [min_value, max_value): √γ - 1.
+  [[nodiscard]] double relative_error_bound() const;
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  /// Total bins including the underflow and overflow bins.
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+
+  bool operator==(const LogHistogram&) const = default;
+
+ private:
+  [[nodiscard]] std::size_t bin_index(double value) const;
+
+  Layout layout_;
+  std::size_t regular_bins_ = 0;
+  double log_min_ = 0.0;        // ln(min_value)
+  double inv_log_gamma_ = 0.0;  // 1 / ln(γ); bin = floor(ln(v/min) * this)
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;  // [underflow][regular...][overflow]
+};
+
+/// One metric's streaming aggregate: exact count/sum/min/max plus the
+/// bounded-error quantile sketch. merge() is exact for the integer and
+/// min/max fields; the caller fixes the fold order of the double sum
+/// (fleet merges epochs in epoch-index order) so results stay bitwise
+/// reproducible for any worker schedule.
+class StreamingStats {
+ public:
+  StreamingStats() = default;
+  explicit StreamingStats(LogHistogram::Layout layout) : hist_(layout) {}
+
+  void add(double value);
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double quantile(double pct) const {
+    return hist_.quantile(pct);
+  }
+  [[nodiscard]] const LogHistogram& histogram() const { return hist_; }
+
+  bool operator==(const StreamingStats&) const = default;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  LogHistogram hist_;
+};
+
+}  // namespace parcel::core

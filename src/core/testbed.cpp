@@ -62,8 +62,9 @@ Testbed::Testbed(TestbedConfig config)
   network_.set_route("proxy", "dns", net::Path({proxy_dns_link_}));
 }
 
-net::DuplexLink& Testbed::server_link(const std::string& domain) {
-  auto it = server_links_.find(domain);
+net::DuplexLink& Testbed::server_link(net::UrlId id,
+                                      const std::string& domain) {
+  auto it = server_links_.find(id);
   if (it != server_links_.end()) return *it->second;
   util::Duration delay = config_.server_delay;
   if (config_.heterogeneous_server_delays) {
@@ -72,14 +73,21 @@ net::DuplexLink& Testbed::server_link(const std::string& domain) {
   }
   net::DuplexLink& link = network_.add_link(
       "origin." + domain, config_.server_rate, config_.server_rate, delay);
-  server_links_[domain] = &link;
+  server_links_[id] = &link;
   return link;
 }
 
 void Testbed::host_page(const web::WebPage& page) {
-  for (const std::string& domain : page.domains()) {
-    net::DuplexLink& slink = server_link(domain);
-    auto [it, inserted] = origins_.try_emplace(domain, nullptr);
+  // Walk ids and names in parallel: ids key the routing tables, names
+  // feed the Network's endpoint registry and link labels. The iteration
+  // stays in sorted-name order, so topo_rng_ draws (heterogeneous server
+  // delays) land exactly where the string-keyed walk put them.
+  const std::vector<net::UrlId>& ids = page.domain_ids();
+  const std::vector<std::string>& names = page.domain_names();
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    const std::string& domain = names[d];
+    net::DuplexLink& slink = server_link(ids[d], domain);
+    auto [it, inserted] = origins_.try_emplace(ids[d], nullptr);
     if (inserted) {
       it->second = std::make_unique<web::OriginServer>(sched_, domain);
       if (faults_) it->second->set_fault_injector(faults_.get());
@@ -101,7 +109,7 @@ void Testbed::register_proxy_endpoint(const std::string& domain,
 }
 
 web::OriginServer* Testbed::origin(const std::string& domain) {
-  auto it = origins_.find(domain);
+  auto it = origins_.find(net::UrlId{net::intern_key(domain)});
   return it == origins_.end() ? nullptr : it->second.get();
 }
 

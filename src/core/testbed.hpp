@@ -12,9 +12,10 @@
 // the phone-side capture all metrics derive from.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/arena.hpp"
@@ -87,7 +88,7 @@ class Testbed {
   static constexpr const char* kProxyDomain = "parcel.proxy";
 
  private:
-  net::DuplexLink& server_link(const std::string& domain);
+  net::DuplexLink& server_link(net::UrlId id, const std::string& domain);
 
   TestbedConfig config_;
   sim::Scheduler sched_;
@@ -108,8 +109,15 @@ class Testbed {
   net::DuplexLink* dns_link_ = nullptr;
   net::DuplexLink* proxy_dns_link_ = nullptr;
 
-  std::map<std::string, net::DuplexLink*> server_links_;
-  std::map<std::string, std::unique_ptr<web::OriginServer>> origins_;
+  // Keyed by interned domain id (ISSUE 7 satellite): the hosting loop
+  // walks page.domain_ids() and probes these without rebuilding host
+  // strings. Never iterated — lookup/insert only — so the unordered
+  // bucket order cannot reach any result.
+  std::unordered_map<net::UrlId, net::DuplexLink*, net::UrlIdHash>
+      server_links_;
+  std::unordered_map<net::UrlId, std::unique_ptr<web::OriginServer>,
+                     net::UrlIdHash>
+      origins_;
 };
 
 }  // namespace parcel::core

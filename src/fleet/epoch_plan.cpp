@@ -1,0 +1,87 @@
+#include "fleet/epoch_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parcel::fleet {
+
+namespace {
+
+EpochPlan single_epoch(std::size_t n, std::string reason) {
+  EpochPlan plan;
+  plan.epochs.push_back(EpochPlan::Epoch{0, n});
+  plan.parallel = false;
+  plan.degrade_reason = std::move(reason);
+  return plan;
+}
+
+}  // namespace
+
+EpochPlan plan_epochs(const std::vector<const web::WebPage*>& corpus,
+                      const ClientColumns& clients,
+                      const FleetConfig& config) {
+  const std::size_t n = clients.size();
+  if (n == 0) {
+    EpochPlan plan;
+    plan.parallel = true;
+    return plan;
+  }
+  if (config.compute.max_queue != 0 ||
+      !config.compute.max_backlog.is_zero()) {
+    return single_epoch(n,
+                        "admission bounds: shedding depends on live queue "
+                        "state, so the store is not a pure function of the "
+                        "spec sequence");
+  }
+  const sim::FaultPlan& faults = config.base.testbed.faults;
+  if (faults.enabled() && !faults.blackouts.empty()) {
+    return single_epoch(n,
+                        "blackout windows couple proxy service to absolute "
+                        "time across any boundary");
+  }
+
+  // Conservative per-page cold (all-miss) batch cost: every object is a
+  // fetch (+ parse for text bodies) plus the client's bundle assembly.
+  std::vector<double> cold_cost_sec(corpus.size(), 0.0);
+  for (std::size_t p = 0; p < corpus.size(); ++p) {
+    const web::WebPage& page = *corpus[p];
+    util::Duration cost =
+        config.compute.costs.service_time(TaskKind::kBundle,
+                                          page.total_bytes());
+    for (const web::WebObject* object : page.objects()) {
+      cost += config.compute.costs.service_time(TaskKind::kFetch,
+                                                object->size);
+      if (web::is_parseable(object->type)) {
+        cost += config.compute.costs.service_time(TaskKind::kParse,
+                                                  object->size);
+      }
+    }
+    cold_cost_sec[p] = cost.sec();
+  }
+
+  // Bound the epoch count (~1024) so merge state stays O(1) in K.
+  std::size_t min_run =
+      std::max<std::size_t>(static_cast<std::size_t>(std::max(
+                                config.epoch_min_sessions, 1)),
+                            n / 1024);
+
+  EpochPlan plan;
+  plan.parallel = true;
+  std::size_t begin = 0;
+  double busy = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    double arrival = clients.arrival_sec[i];
+    // Strictly later than the drain bound: a completion scheduled exactly
+    // at an arrival would still lose the FIFO tie-break to the
+    // pre-scheduled arrival event, i.e. the queue would not yet be idle.
+    if (i > begin && i - begin >= min_run && arrival > busy) {
+      plan.epochs.push_back(EpochPlan::Epoch{begin, i});
+      begin = i;
+    }
+    busy = std::max(busy, arrival) + cold_cost_sec[clients.page_index[i]];
+  }
+  plan.epochs.push_back(EpochPlan::Epoch{begin, n});
+  return plan;
+}
+
+}  // namespace parcel::fleet

@@ -1,0 +1,65 @@
+// Epoch partition of the fleet macro timeline (ISSUE 7, tentpole b;
+// DESIGN.md §12).
+//
+// Fleet sessions interact through exactly two shared resources: the
+// SharedObjectStore (session N warms session N+1) and the ProxyCompute
+// queue (waiting behind earlier work). If every task submitted before
+// time T has *finished* strictly before T, and the store's contents at T
+// are known, then the timeline after T is independent of how the
+// timeline before T was executed — so arrivals can be partitioned at such
+// boundaries into epochs and the epochs simulated concurrently.
+//
+// plan_epochs finds candidate boundaries with a conservative bound that
+// never under-estimates queue drain time: walk arrivals in order
+// accumulating `busy = max(busy, arrival) + cold_batch_cost(page)`, i.e.
+// a single worker serving every client's *all-miss* batch serially.
+// Work-conserving pools drain no slower with more workers, store hits
+// only remove work, and admission shedding is excluded below — so the
+// true last completion time never exceeds `busy`, and a boundary is
+// placed before client i whenever `arrival_i > busy` (and the epoch has
+// reached its minimum size). The bound is *checked, not assumed*: after
+// simulation, fleet_runner verifies each epoch's actual last task finish
+// precedes the next epoch's first arrival and that each epoch's ending
+// store contents equal the next epoch's starting snapshot, throwing
+// std::logic_error on any violation.
+//
+// Degradation to one serial epoch (parallel = false) whenever sessions
+// *can* interact in ways the bound does not model:
+//  * admission bounds (max_queue / max_backlog): shedding depends on live
+//    queue state, and a shed client skips its store inserts, so the store
+//    evolution is no longer a pure function of the spec sequence;
+//  * blackout windows: service deferral couples the queue to absolute
+//    wall positions shared across epochs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_runner.hpp"
+
+namespace parcel::fleet {
+
+struct EpochPlan {
+  struct Epoch {
+    std::size_t begin = 0;  // first client index (inclusive)
+    std::size_t end = 0;    // one past the last client index
+  };
+  /// Consecutive, in arrival order, covering [0, K).
+  std::vector<Epoch> epochs;
+  /// True when the epochs are provably non-interacting and may run
+  /// concurrently; false means one serial epoch.
+  bool parallel = false;
+  /// Why the plan degraded to a single serial epoch (empty if parallel).
+  std::string degrade_reason;
+};
+
+/// Partition `clients` (arrival order) into provably non-interacting
+/// epochs for `config`. The minimum epoch size is
+/// max(config.epoch_min_sessions, K/1024), which caps the epoch count —
+/// and with it the merge state — at ~1024 regardless of K.
+[[nodiscard]] EpochPlan plan_epochs(
+    const std::vector<const web::WebPage*>& corpus,
+    const ClientColumns& clients, const FleetConfig& config);
+
+}  // namespace parcel::fleet

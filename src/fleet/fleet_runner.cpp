@@ -1,13 +1,17 @@
 #include "fleet/fleet_runner.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/arena.hpp"
 #include "core/parallel_runner.hpp"
+#include "fleet/epoch_plan.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "web/parse_cache.hpp"
 
 namespace parcel::fleet {
 
@@ -23,40 +27,63 @@ void FleetConfig::validate() const {
   if (store_capacity < 0) {
     throw std::invalid_argument("FleetConfig: store_capacity must be >= 0");
   }
+  if (epoch_min_sessions < 1) {
+    throw std::invalid_argument(
+        "FleetConfig: epoch_min_sessions must be >= 1");
+  }
   compute.validate();
   base.testbed.faults.validate();
 }
 
-std::vector<ClientSpec> derive_clients(const FleetConfig& config,
-                                       std::size_t corpus_pages) {
+ClientColumns derive_client_columns(const FleetConfig& config,
+                                    std::size_t corpus_pages) {
   config.validate();
   if (corpus_pages == 0) {
-    throw std::invalid_argument("derive_clients: corpus is empty");
+    throw std::invalid_argument("derive_client_columns: corpus is empty");
   }
   // One dedicated stream for arrivals: adding clients never perturbs the
   // per-session seeds, which are pure functions of the client index.
   util::Rng arrivals(config.arrival_seed);
-  std::vector<ClientSpec> specs;
-  specs.reserve(static_cast<std::size_t>(config.clients));
+  ClientColumns cols;
+  auto n = static_cast<std::size_t>(config.clients);
+  cols.arrival_sec.reserve(n);
+  cols.page_index.reserve(n);
+  cols.seed.reserve(n);
+  cols.fade_seed.reserve(n);
   util::TimePoint t = util::TimePoint::origin();
   for (int k = 0; k < config.clients; ++k) {
     if (k > 0 && !config.mean_interarrival.is_zero()) {
       t += util::Duration::seconds(
           arrivals.exponential(config.mean_interarrival.sec()));
     }
-    ClientSpec spec;
-    spec.client = k;
+    auto uk = static_cast<std::uint64_t>(k);
+    cols.arrival_sec.push_back(t.sec());
     // Round-robin over the corpus: the repeated-page pattern that makes
     // shared-store warming visible as K grows past the corpus size.
-    spec.page_index = static_cast<std::size_t>(k) % corpus_pages;
-    spec.scheme = config.scheme;
-    spec.arrival = t;
-    spec.config = config.base;
+    cols.page_index.push_back(
+        static_cast<std::uint32_t>(static_cast<std::size_t>(k) % corpus_pages));
     // Same shape as the single-client harness's grid derivation: distinct
     // deterministic seeds per slot, derived from the base seed only.
-    spec.config.seed = config.base.seed + 1000003ULL * static_cast<std::uint64_t>(k) + 1;
-    spec.config.testbed.fade_seed =
-        config.base.testbed.fade_seed + 7919ULL * static_cast<std::uint64_t>(k) + 1;
+    cols.seed.push_back(config.base.seed + 1000003ULL * uk + 1);
+    cols.fade_seed.push_back(config.base.testbed.fade_seed + 7919ULL * uk + 1);
+  }
+  return cols;
+}
+
+std::vector<ClientSpec> derive_clients(const FleetConfig& config,
+                                       std::size_t corpus_pages) {
+  ClientColumns cols = derive_client_columns(config, corpus_pages);
+  std::vector<ClientSpec> specs;
+  specs.reserve(cols.size());
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    ClientSpec spec;
+    spec.client = static_cast<int>(k);
+    spec.page_index = cols.page_index[k];
+    spec.scheme = config.scheme;
+    spec.arrival = util::TimePoint::at_seconds(cols.arrival_sec[k]);
+    spec.config = config.base;
+    spec.config.seed = cols.seed[k];
+    spec.config.testbed.fade_seed = cols.fade_seed[k];
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -64,18 +91,332 @@ std::vector<ClientSpec> derive_clients(const FleetConfig& config,
 
 namespace {
 
-/// Per-client accumulator for the macro timeline.
-struct MacroState {
-  bool shed = false;
-  std::size_t outstanding = 0;
-  util::Duration max_wait = util::Duration::zero();
-  util::TimePoint done;
+/// SoA view of the macro timeline's inputs (ISSUE 7 satellite). `client`
+/// and `weight` may be empty: the id then defaults to the local index and
+/// the weight to 1.0 (derived fleets — WFQ state stays epoch-sized).
+struct MacroColumns {
+  std::span<const double> arrival_sec;
+  std::span<const std::uint32_t> page_index;
+  std::span<const int> client;
+  std::span<const double> weight;
 };
+
+/// SoA macro outputs, indexed like the columns.
+struct MacroOut {
+  std::vector<std::uint8_t> shed;
+  std::vector<double> max_wait_sec;
+  std::vector<double> done_sec;
+  explicit MacroOut(std::size_t n)
+      : shed(n, 0), max_wait_sec(n, 0.0), done_sec(n, 0.0) {}
+};
+
+/// One macro timeline over clients [0, cols.size()): schedule arrivals,
+/// admission-control whole batches (503-style), route object needs
+/// through the shared store, submit surviving work to the compute pool.
+/// Exact and streaming modes, and every epoch, all run this same loop.
+void run_macro(const std::vector<const web::WebPage*>& corpus,
+               const MacroColumns& cols, sim::Scheduler& sched,
+               ProxyCompute& compute, SharedObjectStore& store,
+               MacroOut& out) {
+  const std::size_t n = cols.arrival_sec.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sched.schedule_at(
+        util::TimePoint::at_seconds(cols.arrival_sec[i]), [&, i] {
+          const web::WebPage& page = *corpus[cols.page_index[i]];
+          const std::vector<const web::WebObject*>& objects = page.objects();
+
+          // Admission control: size the whole task batch first (a client
+          // is either served or refused, never half-queued). Misses cost
+          // a fetch plus, for text bodies, a parse/scan; the per-session
+          // bundle assembly is always the client's own work.
+          std::size_t batch = 1;
+          util::Duration batch_cost =
+              compute.cost_of(TaskKind::kBundle, page.total_bytes());
+          for (const web::WebObject* object : objects) {
+            if (!store.contains(*object)) {
+              batch += web::is_parseable(object->type) ? 2u : 1u;
+              batch_cost += compute.cost_of(TaskKind::kFetch, object->size);
+              if (web::is_parseable(object->type)) {
+                batch_cost += compute.cost_of(TaskKind::kParse, object->size);
+              }
+            }
+          }
+          if (!compute.can_accept(batch, batch_cost)) {
+            out.shed[i] = 1;
+            return;
+          }
+
+          int client =
+              cols.client.empty() ? static_cast<int>(i) : cols.client[i];
+          double weight = cols.weight.empty() ? 1.0 : cols.weight[i];
+          auto on_done = [&out, i](util::TimePoint finished,
+                                   util::Duration waited) {
+            out.max_wait_sec[i] = std::max(out.max_wait_sec[i], waited.sec());
+            out.done_sec[i] = std::max(out.done_sec[i], finished.sec());
+          };
+          for (const web::WebObject* object : objects) {
+            SharedObjectStore::Outcome outcome = store.request(*object);
+            if (outcome.hit) continue;  // served from the shared store
+            compute.submit(client, weight, TaskKind::kFetch, object->size,
+                           on_done);
+            if (web::is_parseable(object->type)) {
+              compute.submit(client, weight, TaskKind::kParse, object->size,
+                             on_done);
+            }
+          }
+          compute.submit(client, weight, TaskKind::kBundle, page.total_bytes(),
+                         on_done);
+        });
+  }
+  sched.run();
+}
+
+/// Per-epoch streaming aggregate: everything a finished epoch contributes
+/// to FleetMetrics, plus the state the boundary invariant check needs.
+struct EpochAgg {
+  explicit EpochAgg(const core::LogHistogram::Layout& layout)
+      : olt(layout), tlt(layout), wait(layout), energy(layout) {}
+
+  int admitted = 0;
+  int shed = 0;
+  std::uint64_t sessions_ok = 0;
+  core::StreamingStats olt, tlt, wait, energy;
+  SharedObjectStore::Stats store;
+  ProxyCompute::Stats compute;
+  SharedObjectStore end_store;  // contents at epoch end (counters zero)
+};
+
+/// Simulate one epoch end-to-end on the calling thread: macro timeline
+/// from the starting store snapshot, then every admitted micro-sim in
+/// client order, folding each result into the sketches the moment it
+/// completes — the RunResult is dropped before the next session runs.
+EpochAgg run_epoch(const std::vector<const web::WebPage*>& corpus,
+                   const ClientColumns& cols, EpochPlan::Epoch epoch,
+                   const SharedObjectStore& start_store,
+                   const FleetConfig& config, const sim::FaultPlan* plan) {
+  EpochAgg agg(config.sketch);
+  const std::size_t n = epoch.end - epoch.begin;
+
+  core::Arena arena;
+  core::ArenaScope scope(arena);
+  sim::Scheduler sched;
+  ProxyCompute compute(sched, config.compute, plan);
+  SharedObjectStore store = start_store.fork_contents();
+
+  MacroColumns mc;
+  mc.arrival_sec =
+      std::span<const double>(cols.arrival_sec).subspan(epoch.begin, n);
+  mc.page_index =
+      std::span<const std::uint32_t>(cols.page_index).subspan(epoch.begin, n);
+  MacroOut out(n);
+  run_macro(corpus, mc, sched, compute, store, out);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (out.shed[j] != 0) {
+      ++agg.shed;
+      continue;
+    }
+    ++agg.admitted;
+    std::size_t i = epoch.begin + j;
+    core::RunConfig cfg = config.base;
+    cfg.seed = cols.seed[i];
+    cfg.testbed.fade_seed = cols.fade_seed[i];
+    core::RunResult r = core::ExperimentRunner::run(
+        config.scheme, *corpus[cols.page_index[i]], cfg);
+    double w = out.max_wait_sec[j];
+    agg.olt.add(r.olt.sec() + w);
+    agg.tlt.add(r.tlt.sec() + w);
+    agg.wait.add(w);
+    agg.energy.add(r.radio.total.j());
+    if (r.ok) ++agg.sessions_ok;
+  }
+
+  agg.store = store.stats();
+  agg.compute = compute.stats();
+  agg.end_store = store.fork_contents();
+  // Per-session content (bundle-unpacked objects) pins parse-cache
+  // entries that can never hit again; without this per-epoch sweep the
+  // cache footprint grows linearly in K and the bounded-memory claim of
+  // streaming mode is void. Corpus artifacts survive (their owners still
+  // pin them), so warm-cache behavior is unchanged.
+  web::ParseCache::instance().sweep_transient();
+  return agg;
+}
+
+/// Fold one epoch into the metrics. Called in epoch-index order on the
+/// main thread, so every sum (integer and double) has one fixed fold
+/// order and the result is bitwise independent of --jobs.
+void fold_epoch(FleetMetrics& m, const EpochAgg& agg) {
+  m.admitted += agg.admitted;
+  m.shed += agg.shed;
+  m.sessions_ok += agg.sessions_ok;
+  m.olt_stats.merge(agg.olt);
+  m.tlt_stats.merge(agg.tlt);
+  m.wait_stats.merge(agg.wait);
+  m.energy_stats.merge(agg.energy);
+  m.store.hits += agg.store.hits;
+  m.store.misses += agg.store.misses;
+  m.store.evictions += agg.store.evictions;
+  m.store.bytes_saved += agg.store.bytes_saved;
+  m.compute.completed += agg.compute.completed;
+  m.compute.fetch_busy_sec += agg.compute.fetch_busy_sec;
+  m.compute.parse_busy_sec += agg.compute.parse_busy_sec;
+  m.compute.bundle_busy_sec += agg.compute.bundle_busy_sec;
+  m.compute.last_finish =
+      std::max(m.compute.last_finish, agg.compute.last_finish);
+}
+
+FleetMetrics run_fleet_streaming(const std::vector<const web::WebPage*>& corpus,
+                                 const FleetConfig& config) {
+  ClientColumns cols = derive_client_columns(config, corpus.size());
+  EpochPlan plan = plan_epochs(corpus, cols, config);
+  const sim::FaultPlan* fault_plan =
+      config.base.testbed.faults.enabled() ? &config.base.testbed.faults
+                                           : nullptr;
+
+  FleetMetrics m;
+  m.streaming = true;
+  m.epochs = static_cast<int>(plan.epochs.size());
+  m.epoch_parallel = plan.parallel && plan.epochs.size() > 1;
+  m.epoch_degrade_reason = plan.degrade_reason;
+  m.olt_stats = core::StreamingStats(config.sketch);
+  m.tlt_stats = core::StreamingStats(config.sketch);
+  m.wait_stats = core::StreamingStats(config.sketch);
+  m.energy_stats = core::StreamingStats(config.sketch);
+
+  if (m.epoch_parallel) {
+    // Serial pre-pass: the store's evolution is a pure function of the
+    // spec sequence here (no shedding possible — plan_epochs degrades
+    // otherwise), so replaying only the store requests yields every
+    // epoch's starting snapshot without simulating anything else.
+    std::vector<SharedObjectStore> starts;
+    starts.reserve(plan.epochs.size());
+    SharedObjectStore replay(config.store_capacity);
+    for (const EpochPlan::Epoch& epoch : plan.epochs) {
+      starts.push_back(replay.fork_contents());
+      for (std::size_t i = epoch.begin; i < epoch.end; ++i) {
+        for (const web::WebObject* object :
+             corpus[cols.page_index[i]]->objects()) {
+          replay.request(*object);
+        }
+      }
+    }
+
+    std::vector<EpochAgg> aggs(plan.epochs.size(), EpochAgg(config.sketch));
+    core::ParallelRunner runner(config.jobs);
+    runner.for_each_index(plan.epochs.size(), [&](std::size_t e) {
+      aggs[e] = run_epoch(corpus, cols, plan.epochs[e], starts[e], config,
+                          fault_plan);
+    });
+
+    // The non-interaction argument is checked, not assumed: every epoch's
+    // pool must have drained strictly before the next epoch's first
+    // arrival, and its ending store must be the snapshot the next epoch
+    // started from. A violation is a planner bug, not a data error.
+    for (std::size_t e = 0; e + 1 < plan.epochs.size(); ++e) {
+      double next_arrival = cols.arrival_sec[plan.epochs[e + 1].begin];
+      if (aggs[e].compute.completed != 0 &&
+          aggs[e].compute.last_finish.sec() >= next_arrival) {
+        throw std::logic_error(
+            "fleet epoch invariant violated: epoch " + std::to_string(e) +
+            " finished work at t=" +
+            std::to_string(aggs[e].compute.last_finish.sec()) +
+            " >= next epoch arrival t=" + std::to_string(next_arrival));
+      }
+      if (!aggs[e].end_store.contents_equal(starts[e + 1])) {
+        throw std::logic_error(
+            "fleet epoch invariant violated: epoch " + std::to_string(e) +
+            " ending store differs from the next epoch's snapshot");
+      }
+    }
+
+    for (const EpochAgg& agg : aggs) fold_epoch(m, agg);
+    if (!aggs.empty()) {
+      m.store.bytes_stored = aggs.back().store.bytes_stored;
+    }
+  } else {
+    // One serial timeline (admission bounds, blackouts, or a fleet too
+    // small to split): the macro phase is the exact-mode loop, but the
+    // micro phase still streams — sessions fan out in bounded blocks and
+    // fold in client order, so memory is O(block), not O(K).
+    core::Arena macro_arena;
+    core::ArenaScope macro_scope(macro_arena);
+    sim::Scheduler sched;
+    ProxyCompute compute(sched, config.compute, fault_plan);
+    SharedObjectStore store(config.store_capacity);
+    MacroColumns mc;
+    mc.arrival_sec = cols.arrival_sec;
+    mc.page_index = cols.page_index;
+    MacroOut out(cols.size());
+    run_macro(corpus, mc, sched, compute, store, out);
+
+    EpochAgg agg(config.sketch);
+    std::vector<std::size_t> admitted;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (out.shed[i] != 0) {
+        ++agg.shed;
+      } else {
+        admitted.push_back(i);
+      }
+    }
+    agg.admitted = static_cast<int>(admitted.size());
+    constexpr std::size_t kBlock = 256;
+    for (std::size_t b = 0; b < admitted.size(); b += kBlock) {
+      std::size_t block_end = std::min(admitted.size(), b + kBlock);
+      std::vector<core::ExperimentTask> tasks;
+      tasks.reserve(block_end - b);
+      for (std::size_t s = b; s < block_end; ++s) {
+        std::size_t i = admitted[s];
+        core::RunConfig cfg = config.base;
+        cfg.seed = cols.seed[i];
+        cfg.testbed.fade_seed = cols.fade_seed[i];
+        tasks.push_back(core::ExperimentTask{
+            config.scheme, corpus[cols.page_index[i]], cfg});
+      }
+      std::vector<core::RunResult> results =
+          core::run_experiments(tasks, config.jobs);
+      for (std::size_t s = b; s < block_end; ++s) {
+        const core::RunResult& r = results[s - b];
+        double w = out.max_wait_sec[admitted[s]];
+        agg.olt.add(r.olt.sec() + w);
+        agg.tlt.add(r.tlt.sec() + w);
+        agg.wait.add(w);
+        agg.energy.add(r.radio.total.j());
+        if (r.ok) ++agg.sessions_ok;
+      }
+      // Same bounded-memory discipline as run_epoch: the block's sessions
+      // are done, so their transient parse-cache pins are dead weight.
+      web::ParseCache::instance().sweep_transient();
+    }
+    agg.store = store.stats();
+    agg.compute = compute.stats();
+    fold_epoch(m, agg);
+    m.store.bytes_stored = agg.store.bytes_stored;
+  }
+
+  m.olt_p50 = m.olt_stats.quantile(50.0);
+  m.olt_p95 = m.olt_stats.quantile(95.0);
+  m.olt_p99 = m.olt_stats.quantile(99.0);
+  m.wait_p50 = m.wait_stats.quantile(50.0);
+  m.wait_p95 = m.wait_stats.quantile(95.0);
+  m.wait_p99 = m.wait_stats.quantile(99.0);
+  m.energy_j_total = m.energy_stats.sum();
+  m.proxy_busy_sec = m.compute.busy_sec();
+  m.fetch_parse_sec = m.compute.fetch_parse_sec();
+  return m;
+}
 
 }  // namespace
 
 FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
                        const FleetConfig& config) {
+  if (config.streaming) {
+    config.validate();
+    if (corpus.empty()) {
+      throw std::invalid_argument("run_fleet: corpus is empty");
+    }
+    return run_fleet_streaming(corpus, config);
+  }
   return run_fleet(corpus, derive_clients(config, corpus.size()), config);
 }
 
@@ -83,6 +424,11 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
                        const std::vector<ClientSpec>& specs,
                        const FleetConfig& config) {
   config.validate();
+  if (config.streaming) {
+    throw std::invalid_argument(
+        "run_fleet: streaming mode derives its own clients; use the "
+        "corpus-only overload");
+  }
   if (corpus.empty()) {
     throw std::invalid_argument("run_fleet: corpus is empty");
   }
@@ -99,67 +445,34 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
   // pages and the specs, never on micro-run outputs. The macro scheduler
   // heap bumps out of its own arena; micro-runs install per-run arenas of
   // their own inside ExperimentRunner::run (worker threads, nested fine).
+  // Explicit specs may carry arbitrary client ids/weights, so those two
+  // columns are materialized from the AoS records here.
   core::Arena macro_arena;
   core::ArenaScope macro_scope(macro_arena);
-  sim::Scheduler macro;
-  const sim::FaultPlan* plan =
+  sim::Scheduler sched;
+  const sim::FaultPlan* fault_plan =
       config.base.testbed.faults.enabled() ? &config.base.testbed.faults
                                            : nullptr;
-  ProxyCompute compute(macro, config.compute, plan);
+  ProxyCompute compute(sched, config.compute, fault_plan);
   SharedObjectStore store(config.store_capacity);
-  std::vector<MacroState> states(specs.size());
 
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    macro.schedule_at(specs[i].arrival, [&, i] {
-      const ClientSpec& spec = specs[i];
-      MacroState& state = states[i];
-      const web::WebPage& page = *corpus[spec.page_index];
-      const std::vector<const web::WebObject*>& objects = page.objects();
-
-      // Admission control: size the whole task batch first (503-style —
-      // a client is either served or refused, never half-queued). Misses
-      // cost a fetch plus, for text bodies, a parse/scan; the per-session
-      // bundle assembly is always the client's own work. The batch's
-      // estimated service seconds feed the backlog bound.
-      std::size_t batch = 1;
-      util::Duration batch_cost =
-          compute.cost_of(TaskKind::kBundle, page.total_bytes());
-      for (const web::WebObject* object : objects) {
-        if (!store.contains(*object)) {
-          batch += web::is_parseable(object->type) ? 2u : 1u;
-          batch_cost += compute.cost_of(TaskKind::kFetch, object->size);
-          if (web::is_parseable(object->type)) {
-            batch_cost += compute.cost_of(TaskKind::kParse, object->size);
-          }
-        }
-      }
-      if (!compute.can_accept(batch, batch_cost)) {
-        state.shed = true;
-        return;
-      }
-
-      state.outstanding = batch;
-      auto on_done = [&state](util::TimePoint finished,
-                              util::Duration waited) {
-        state.max_wait = std::max(state.max_wait, waited);
-        state.done = std::max(state.done, finished);
-        --state.outstanding;
-      };
-      for (const web::WebObject* object : objects) {
-        SharedObjectStore::Outcome outcome = store.request(*object);
-        if (outcome.hit) continue;  // served from the shared store
-        compute.submit(spec.client, spec.weight, TaskKind::kFetch,
-                       object->size, on_done);
-        if (web::is_parseable(object->type)) {
-          compute.submit(spec.client, spec.weight, TaskKind::kParse,
-                         object->size, on_done);
-        }
-      }
-      compute.submit(spec.client, spec.weight, TaskKind::kBundle,
-                     page.total_bytes(), on_done);
-    });
+  std::vector<double> arrival_sec;
+  std::vector<std::uint32_t> page_index;
+  std::vector<int> client;
+  std::vector<double> weight;
+  arrival_sec.reserve(specs.size());
+  page_index.reserve(specs.size());
+  client.reserve(specs.size());
+  weight.reserve(specs.size());
+  for (const ClientSpec& spec : specs) {
+    arrival_sec.push_back(spec.arrival.sec());
+    page_index.push_back(static_cast<std::uint32_t>(spec.page_index));
+    client.push_back(spec.client);
+    weight.push_back(spec.weight);
   }
-  macro.run();
+  MacroColumns mc{arrival_sec, page_index, client, weight};
+  MacroOut out(specs.size());
+  run_macro(corpus, mc, sched, compute, store, out);
 
   // ---- Micro phase: one independent session simulation per admitted
   // client, fanned out across the parallel runner (slot-indexed, so any
@@ -167,7 +480,7 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
   std::vector<std::size_t> admitted;
   std::vector<core::ExperimentTask> tasks;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (states[i].shed) continue;
+    if (out.shed[i] != 0) continue;
     admitted.push_back(i);
     tasks.push_back(core::ExperimentTask{specs[i].scheme,
                                          corpus[specs[i].page_index],
@@ -184,7 +497,7 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
     r.client = specs[i].client;
     r.page_index = specs[i].page_index;
     r.arrival = specs[i].arrival;
-    r.shed = states[i].shed;
+    r.shed = out.shed[i] != 0;
   }
   std::vector<double> olts, waits;
   olts.reserve(admitted.size());
@@ -192,8 +505,8 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
   for (std::size_t s = 0; s < admitted.size(); ++s) {
     std::size_t i = admitted[s];
     FleetClientResult& r = metrics.clients[i];
-    r.queue_wait = states[i].max_wait;
-    r.proxy_done = states[i].done;
+    r.queue_wait = util::Duration::seconds(out.max_wait_sec[i]);
+    r.proxy_done = util::TimePoint::at_seconds(out.done_sec[i]);
     r.session = std::move(sessions[s]);
     // Fleet-adjusted timeline: the contention the session sim cannot see
     // is exactly the time this client's work sat waiting at the proxy.

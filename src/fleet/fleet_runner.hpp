@@ -22,12 +22,21 @@
 // session-level value plus its queueing delay — service time is already
 // inside the session simulation and is deliberately not added twice
 // (DESIGN.md §10).
+//
+// ISSUE 7 adds a streaming mode for million-session fleets: per-session
+// results are folded into core::StreamingStats sketches the moment each
+// micro-simulation completes (never stored), and the macro timeline is
+// partitioned into provably non-interacting epochs (epoch_plan.hpp) that
+// run concurrently on ParallelRunner — with fleet metrics still bitwise
+// identical for any --jobs value.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/streaming_stats.hpp"
 #include "fleet/proxy_compute.hpp"
 #include "fleet/shared_store.hpp"
 #include "web/page.hpp"
@@ -70,10 +79,44 @@ struct FleetConfig {
   /// bitwise-identical fleet metrics.
   int jobs = 1;
 
+  /// Streaming aggregation (ISSUE 7): fold every admitted session into
+  /// sketches and running sums as it completes instead of materializing
+  /// per-client results — FleetMetrics.clients stays empty, memory stays
+  /// bounded in K, and the macro timeline runs epoch-parallel whenever
+  /// the config is provably interaction-free (epoch_plan.hpp). The
+  /// percentile fields are then sketch-backed with the documented
+  /// LogHistogram relative-error bound; integer counters and store/
+  /// compute stats remain exact.
+  bool streaming = false;
+  /// Minimum sessions per epoch in streaming mode (the planner also
+  /// enforces >= K/1024 so epoch-merge state is O(1) in K).
+  int epoch_min_sessions = 512;
+  /// Bin geometry for the streaming sketches.
+  core::LogHistogram::Layout sketch;
+
   /// Throws std::invalid_argument on nonsense (clients < 1, negative
   /// inter-arrival, invalid compute config, malformed fault plan).
   void validate() const;
 };
+
+/// SoA columns for the fleet's per-client bookkeeping (ISSUE 7
+/// satellite): the macro epoch loop walks parallel arrays instead of
+/// ClientSpec records — 36 bytes per client instead of a full embedded
+/// RunConfig, and each column scans linearly. Derived fleets are uniform
+/// in scheme/weight (config.scheme, weight 1.0), so only the per-client
+/// varying fields get columns; index k is the client id.
+struct ClientColumns {
+  std::vector<double> arrival_sec;
+  std::vector<std::uint32_t> page_index;
+  std::vector<std::uint64_t> seed;       // per-session RunConfig seed
+  std::vector<std::uint64_t> fade_seed;  // per-session fade stream seed
+  [[nodiscard]] std::size_t size() const { return arrival_sec.size(); }
+};
+
+/// Column-form equivalent of derive_clients: identical arrival process
+/// and seed derivation, ~30x smaller per client.
+[[nodiscard]] ClientColumns derive_client_columns(const FleetConfig& config,
+                                                  std::size_t corpus_pages);
 
 struct FleetClientResult {
   int client = 0;
@@ -123,6 +166,23 @@ struct FleetMetrics {
 
   SharedObjectStore::Stats store;
   ProxyCompute::Stats compute;
+
+  // ---- Streaming-mode surface (FleetConfig::streaming; zeroed in exact
+  // mode). The percentile fields above are filled from these sketches
+  // (nearest-rank, within LogHistogram::relative_error_bound()); clients
+  // stays empty by design.
+  bool streaming = false;
+  /// Epoch decomposition actually used (1 when degraded or exact).
+  int epochs = 0;
+  bool epoch_parallel = false;
+  /// Why the epoch planner degraded to one serial epoch ("" otherwise).
+  std::string epoch_degrade_reason;
+  /// Micro-sims that completed inside the capture window (r.ok).
+  std::uint64_t sessions_ok = 0;
+  core::StreamingStats olt_stats;     // fleet-adjusted OLT, seconds
+  core::StreamingStats tlt_stats;     // fleet-adjusted TLT, seconds
+  core::StreamingStats wait_stats;    // per-client worst queue wait, s
+  core::StreamingStats energy_stats;  // per-session radio energy, joules
 };
 
 /// Derive the K client specs from the config: arrival times from the

@@ -180,6 +180,7 @@ void ProxyCompute::dispatch() {
     sched_.schedule_at(finish, [this, finish, waited, cost_sec, kind,
                                 done = std::move(task.done)]() mutable {
       ++stats_.completed;
+      stats_.last_finish = std::max(stats_.last_finish, finish);
       switch (kind) {
         case TaskKind::kFetch: stats_.fetch_busy_sec += cost_sec; break;
         case TaskKind::kParse: stats_.parse_busy_sec += cost_sec; break;

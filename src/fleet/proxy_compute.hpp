@@ -121,6 +121,11 @@ class ProxyCompute {
     double fetch_busy_sec = 0.0;
     double parse_busy_sec = 0.0;
     double bundle_busy_sec = 0.0;
+    /// Completion time of the last task to finish service (origin when
+    /// nothing completed). Epoch-parallel fleet execution checks this
+    /// against the next epoch's first arrival: the pool must have gone
+    /// idle strictly before it (DESIGN.md §12).
+    TimePoint last_finish;
     [[nodiscard]] double busy_sec() const {
       return fetch_busy_sec + parse_busy_sec + bundle_busy_sec;
     }

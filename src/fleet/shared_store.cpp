@@ -57,6 +57,33 @@ void SharedObjectStore::evict_to_fit() {
   }
 }
 
+SharedObjectStore SharedObjectStore::fork_contents() const {
+  SharedObjectStore fork(capacity_bytes_);
+  fork.entries_ = entries_;
+  fork.fifo_ = fifo_;
+  // bytes_stored is resident state (evict_to_fit keys on it), not a
+  // counter; everything else restarts at zero for the new epoch.
+  fork.stats_.bytes_stored = stats_.bytes_stored;
+  return fork;
+}
+
+bool SharedObjectStore::contents_equal(const SharedObjectStore& other) const {
+  if (capacity_bytes_ != other.capacity_bytes_ ||
+      entries_.size() != other.entries_.size() ||
+      stats_.bytes_stored != other.stats_.bytes_stored ||
+      fifo_ != other.fifo_) {
+    return false;
+  }
+  // parcel-lint: allow(unordered-iter) order-independent conjunction: every entry is looked up in the other map, so iteration order cannot reach the result
+  for (const auto& [key, entry] : entries_) {
+    auto it = other.entries_.find(key);
+    if (it == other.entries_.end() || it->second.size != entry.size) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void SharedObjectStore::clear() {
   entries_.clear();
   fifo_.clear();

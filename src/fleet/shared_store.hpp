@@ -77,6 +77,17 @@ class SharedObjectStore {
   /// Drop every entry; counters are kept (a fleet run's totals survive).
   void clear();
 
+  /// Contents-only copy for epoch-parallel fleet execution (ISSUE 7): the
+  /// resident entries, their FIFO eviction order, capacity and
+  /// bytes_stored carry over; the hit/miss/eviction/bytes_saved counters
+  /// start at zero so per-epoch stats merge by plain summation.
+  [[nodiscard]] SharedObjectStore fork_contents() const;
+
+  /// Same resident contents (keys, sizes, FIFO order) and capacity?
+  /// Counters are ignored — this is the epoch boundary invariant check:
+  /// epoch E's ending store must equal epoch E+1's starting snapshot.
+  [[nodiscard]] bool contents_equal(const SharedObjectStore& other) const;
+
  private:
   // Content identity: text bodies key on (data pointer, length) — the
   // ParseCache identity — and opaque bodies on (url id, length) with a

@@ -18,7 +18,7 @@ DnsClient::DnsClient(sim::Scheduler& sched, Path path_to_resolver,
       rng_(std::move(rng)),
       conn_ids_(std::move(conn_ids)) {}
 
-void DnsClient::resolve(const std::string& domain, Callback on_resolved) {
+void DnsClient::resolve(UrlId domain, Callback on_resolved) {
   if (cache_.contains(domain)) {
     ++cache_hits_;
     on_resolved();

@@ -70,7 +70,10 @@ void Url::refresh_ids() {
   id_.v = fnv1a(fnv1a_sep(host_path), query_);
   // without_query() is host + path: intern exactly that text so lookups
   // built from either side agree.
-  norm_id_.v = fnv1a(fnv1a(kFnvOffset, host_), path_);
+  std::uint64_t host_only = fnv1a(kFnvOffset, host_);
+  norm_id_.v = fnv1a(host_only, path_);
+  // Same text-interning as intern_key(host()), so both probes agree.
+  host_id_.v = host_only;
 }
 
 Url Url::parse(std::string_view text) {

@@ -74,6 +74,11 @@ class Url {
   /// use to resolve cache-busted URLs to the canonical object.
   [[nodiscard]] UrlId normalized_id() const { return norm_id_; }
 
+  /// Interned identity of host() alone — equals intern_key(host()), so
+  /// domain-keyed tables (DNS cache, origin routing) can be probed from a
+  /// Url without touching the host string.
+  [[nodiscard]] UrlId host_id() const { return host_id_; }
+
   bool operator==(const Url& o) const = default;
 
  private:
@@ -87,6 +92,7 @@ class Url {
   std::string query_;
   UrlId id_;
   UrlId norm_id_;
+  UrlId host_id_;
 };
 
 }  // namespace parcel::net

@@ -19,6 +19,10 @@ void WebPage::add(WebObject object) {
   auto dom = std::lower_bound(domains_cache_.begin(), domains_cache_.end(),
                               stored.url.host());
   if (dom == domains_cache_.end() || *dom != stored.url.host()) {
+    domain_ids_cache_.insert(
+        domain_ids_cache_.begin() +
+            std::distance(domains_cache_.begin(), dom),
+        stored.url.host_id());
     domains_cache_.insert(dom, stored.url.host());
   }
   by_id_[stored.url.id()] = &stored;
@@ -38,6 +42,7 @@ void WebPage::rebuild_index() {
   by_norm_id_.clear();
   objects_cache_.clear();
   domains_cache_.clear();
+  domain_ids_cache_.clear();
   objects_cache_.reserve(objects_.size());
   for (const auto& [_, obj] : objects_) {
     by_id_[obj.url.id()] = &obj;
@@ -46,6 +51,10 @@ void WebPage::rebuild_index() {
     auto dom = std::lower_bound(domains_cache_.begin(), domains_cache_.end(),
                                 obj.url.host());
     if (dom == domains_cache_.end() || *dom != obj.url.host()) {
+      domain_ids_cache_.insert(
+          domain_ids_cache_.begin() +
+              std::distance(domains_cache_.begin(), dom),
+          obj.url.host_id());
       domains_cache_.insert(dom, obj.url.host());
     }
   }

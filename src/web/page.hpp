@@ -60,8 +60,16 @@ class WebPage {
   [[nodiscard]] std::vector<const WebObject*> objects_on(
       const std::string& domain) const;
 
-  /// Distinct hosting domains, sorted; cached like objects().
-  [[nodiscard]] const std::vector<std::string>& domains() const {
+  /// Distinct hosting domains as interned ids, in sorted-name order;
+  /// cached like objects(). Hot consumers (Testbed routing, DNS) key on
+  /// these; domain_names() is the parallel decode for display paths.
+  [[nodiscard]] const std::vector<net::UrlId>& domain_ids() const {
+    return domain_ids_cache_;
+  }
+
+  /// Decoded domain names, index-parallel to domain_ids() (sorted).
+  /// Display/diagnostic surface — request paths should use the ids.
+  [[nodiscard]] const std::vector<std::string>& domain_names() const {
     return domains_cache_;
   }
 
@@ -88,6 +96,8 @@ class WebPage {
   // order the map walk produced.
   std::vector<const WebObject*> objects_cache_;
   std::vector<std::string> domains_cache_;
+  /// Index-parallel to domains_cache_: interned id of each name.
+  std::vector<net::UrlId> domain_ids_cache_;
 };
 
 }  // namespace parcel::web

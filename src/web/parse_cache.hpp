@@ -95,6 +95,21 @@ class ParseCache {
   /// artifact shared_ptrs stay valid — entries release, artifacts don't.
   void clear();
 
+  /// Drop dead entries: those where this cache holds the *only* reference
+  /// to the slot, the artifact, and the content pin. Such an entry can
+  /// never hit again — its backing string is unreachable to any future
+  /// caller, kept alive solely by the pin — so it is pure retained memory.
+  /// Transient per-session content (bundle-unpacked objects, generated
+  /// documents) lands here the moment its session ends; corpus content
+  /// stays cached because its generator/replay-store owner still pins it.
+  /// Releasing the pin may let the allocator recycle the keyed address,
+  /// which is safe exactly because the entry is erased in the same step: a
+  /// recycled address misses and re-inserts. Streaming fleet runs sweep
+  /// once per epoch to keep memory bounded in K (DESIGN.md §12). Returns
+  /// the number of entries dropped. Thread-safe; concurrent lookups hold
+  /// slot/pin references and are skipped.
+  std::size_t sweep_transient();
+
   /// Number of cached artifacts across all kinds (for tests/benches).
   [[nodiscard]] std::size_t size() const;
 

@@ -44,10 +44,10 @@ TEST(DirBrowserIntegration, LoadsEveryObjectWithClassicPattern) {
   EXPECT_TRUE(complete);
   EXPECT_EQ(dir.engine().ledger().count(), fixture_page().object_count());
   EXPECT_EQ(dir.fetcher().requests_issued(), fixture_page().object_count());
-  EXPECT_EQ(dir.fetcher().dns_lookups(), fixture_page().domains().size());
+  EXPECT_EQ(dir.fetcher().dns_lookups(), fixture_page().domain_names().size());
   // Connection count bounded by per-domain and global caps.
   EXPECT_LE(dir.fetcher().connections_opened(),
-            fixture_page().domains().size() * 6);
+            fixture_page().domain_names().size() * 6);
   // All transfers delivered the page's bytes over the radio.
   EXPECT_GE(testbed.client_trace().downlink_bytes(),
             static_cast<util::Bytes>(fixture_page().total_bytes()));

@@ -30,7 +30,7 @@ TEST(ExperimentRunner, DirRunBasicInvariants) {
   // DIR issues one HTTP request per object over the radio and resolves
   // every domain (Table 1).
   EXPECT_EQ(r.radio_http_requests, test_page().object_count());
-  EXPECT_EQ(r.dns_lookups, test_page().domains().size());
+  EXPECT_EQ(r.dns_lookups, test_page().domain_names().size());
   EXPECT_GT(r.tcp_connections, 1u);
   EXPECT_GT(r.radio.total.j(), 0.0);
   EXPECT_GT(r.downlink_bytes,

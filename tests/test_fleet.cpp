@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -7,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "core/experiment.hpp"
+#include "fleet/epoch_plan.hpp"
 #include "fleet/fleet_runner.hpp"
 #include "fleet/proxy_compute.hpp"
 #include "fleet/shared_store.hpp"
@@ -514,6 +518,233 @@ TEST(FleetRunner, BlackoutFillsQueueAndShedsLateArrivals) {
   std::uint64_t objects = page.objects().size();
   EXPECT_EQ(stormy.store.misses, objects);
   EXPECT_EQ(stormy.store.hits, objects);
+}
+
+// ---------------------------------------------------------------------
+// Streaming mode + epoch partition (ISSUE 7)
+
+// Exact nearest-rank percentile over the exact-mode per-client results,
+// the statistic the streaming sketch approximates.
+double nearest_rank(std::vector<double> values, double pct) {
+  std::sort(values.begin(), values.end());
+  auto n = static_cast<double>(values.size());
+  auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::min(n, std::ceil(pct / 100.0 * n))));
+  return values[rank - 1];
+}
+
+// Full bitwise comparison of two streaming-mode runs: integer counters,
+// sketches (integer bin counts), and double sums — the fold order is
+// fixed by epoch index, so equality is exact, not approximate.
+void expect_streaming_identical(const FleetMetrics& a, const FleetMetrics& b) {
+  EXPECT_TRUE(a.streaming);
+  EXPECT_TRUE(b.streaming);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.epoch_parallel, b.epoch_parallel);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.sessions_ok, b.sessions_ok);
+  EXPECT_EQ(a.olt_stats, b.olt_stats);
+  EXPECT_EQ(a.tlt_stats, b.tlt_stats);
+  EXPECT_EQ(a.wait_stats, b.wait_stats);
+  EXPECT_EQ(a.energy_stats, b.energy_stats);
+  EXPECT_EQ(a.olt_p50, b.olt_p50);
+  EXPECT_EQ(a.olt_p95, b.olt_p95);
+  EXPECT_EQ(a.olt_p99, b.olt_p99);
+  EXPECT_EQ(a.wait_p95, b.wait_p95);
+  EXPECT_EQ(a.energy_j_total, b.energy_j_total);
+  EXPECT_EQ(a.proxy_busy_sec, b.proxy_busy_sec);
+  EXPECT_EQ(a.fetch_parse_sec, b.fetch_parse_sec);
+  EXPECT_EQ(a.store.hits, b.store.hits);
+  EXPECT_EQ(a.store.misses, b.store.misses);
+  EXPECT_EQ(a.store.evictions, b.store.evictions);
+  EXPECT_EQ(a.store.bytes_saved, b.store.bytes_saved);
+  EXPECT_EQ(a.store.bytes_stored, b.store.bytes_stored);
+  EXPECT_EQ(a.compute.completed, b.compute.completed);
+  EXPECT_EQ(a.compute.last_finish.sec(), b.compute.last_finish.sec());
+}
+
+TEST(FleetStreaming, MatchesExactModeWithinDocumentedBound) {
+  // Same fleet, both pipelines: integer counters must agree exactly;
+  // sketch-backed quantiles within the documented relative-error bound of
+  // the exact nearest-rank statistic; double sums to fold-order slack.
+  FleetConfig cfg;
+  cfg.clients = 12;
+  cfg.arrival_seed = 5;
+  cfg.mean_interarrival = util::Duration::millis(50);
+  cfg.compute.workers = 2;  // contended: nonzero waits in both pipelines
+  cfg.base.seed = 31;
+
+  FleetMetrics exact = run_fleet(test_corpus(), cfg);
+  cfg.streaming = true;
+  cfg.epoch_min_sessions = 2;
+  FleetMetrics stream = run_fleet(test_corpus(), cfg);
+
+  EXPECT_TRUE(stream.streaming);
+  EXPECT_TRUE(stream.clients.empty());  // never materialized
+  EXPECT_EQ(stream.admitted, exact.admitted);
+  EXPECT_EQ(stream.shed, exact.shed);
+  EXPECT_EQ(stream.store.hits, exact.store.hits);
+  EXPECT_EQ(stream.store.misses, exact.store.misses);
+  EXPECT_EQ(stream.store.evictions, exact.store.evictions);
+  EXPECT_EQ(stream.store.bytes_saved, exact.store.bytes_saved);
+  EXPECT_EQ(stream.store.bytes_stored, exact.store.bytes_stored);
+  EXPECT_EQ(stream.compute.completed, exact.compute.completed);
+  EXPECT_EQ(stream.sessions_ok, static_cast<std::uint64_t>(exact.admitted));
+  EXPECT_NEAR(stream.energy_j_total, exact.energy_j_total,
+              1e-9 * exact.energy_j_total);
+  EXPECT_NEAR(stream.proxy_busy_sec, exact.proxy_busy_sec,
+              1e-9 * exact.proxy_busy_sec + 1e-12);
+
+  std::vector<double> olts, waits;
+  for (const FleetClientResult& r : exact.clients) {
+    if (r.shed) continue;
+    olts.push_back(r.olt.sec());
+    waits.push_back(r.queue_wait.sec());
+  }
+  double bound = stream.olt_stats.histogram().relative_error_bound();
+  for (double pct : {50.0, 95.0, 99.0}) {
+    double e = nearest_rank(olts, pct);
+    EXPECT_NEAR(stream.olt_stats.quantile(pct), e, bound * e + 1e-12);
+  }
+  double w95 = nearest_rank(waits, 95.0);
+  EXPECT_NEAR(stream.wait_p95, w95, bound * w95 + 1e-12);
+}
+
+TEST(FleetStreaming, EpochParallelBitwiseIdenticalAcrossJobs) {
+  // Sparse arrivals + small min epoch: the planner must find several
+  // non-interacting epochs, and any --jobs value must produce bitwise
+  // identical metrics (integer merges; fixed epoch-order double folds).
+  FleetConfig cfg;
+  cfg.clients = 10;
+  cfg.arrival_seed = 7;
+  cfg.mean_interarrival = util::Duration::seconds(5);  // drained between
+  cfg.base.seed = 13;
+  cfg.streaming = true;
+  cfg.epoch_min_sessions = 2;
+
+  cfg.jobs = 1;
+  FleetMetrics serial = run_fleet(test_corpus(), cfg);
+  cfg.jobs = 4;
+  FleetMetrics parallel = run_fleet(test_corpus(), cfg);
+
+  // Non-vacuous: the plan actually split and ran epoch-parallel.
+  EXPECT_GT(serial.epochs, 1);
+  EXPECT_TRUE(serial.epoch_parallel);
+  EXPECT_EQ(serial.epoch_degrade_reason, "");
+  expect_streaming_identical(serial, parallel);
+}
+
+TEST(FleetStreaming, AdmissionBoundsDegradeToOneSerialEpoch) {
+  // Shedding couples the store to live queue state, so the planner must
+  // refuse to split — and the streaming result still matches exact mode.
+  FleetConfig cfg;
+  cfg.clients = 6;
+  cfg.mean_interarrival = util::Duration::millis(1);
+  cfg.compute.workers = 1;
+  cfg.compute.max_queue = 8;  // admission bound -> interaction possible
+  cfg.base.seed = 17;
+
+  FleetMetrics exact = run_fleet(test_corpus(), cfg);
+  cfg.streaming = true;
+  FleetMetrics stream = run_fleet(test_corpus(), cfg);
+  EXPECT_EQ(stream.epochs, 1);
+  EXPECT_FALSE(stream.epoch_parallel);
+  EXPECT_NE(stream.epoch_degrade_reason, "");
+  EXPECT_EQ(stream.admitted, exact.admitted);
+  EXPECT_EQ(stream.shed, exact.shed);
+  EXPECT_EQ(stream.store.hits, exact.store.hits);
+  EXPECT_EQ(stream.store.misses, exact.store.misses);
+}
+
+TEST(FleetStreaming, BlackoutsDegradeToOneSerialEpoch) {
+  FleetConfig cfg;
+  cfg.clients = 4;
+  cfg.base.seed = 23;
+  cfg.base.testbed.faults = sim::FaultPlan::parse("blackout=0+0.05");
+  cfg.streaming = true;
+  cfg.epoch_min_sessions = 1;
+  FleetMetrics stream = run_fleet(test_corpus(), cfg);
+  EXPECT_EQ(stream.epochs, 1);
+  EXPECT_FALSE(stream.epoch_parallel);
+  EXPECT_NE(stream.epoch_degrade_reason, "");
+  EXPECT_EQ(stream.admitted, 4);
+}
+
+TEST(FleetStreaming, SingleClientStreamingMatchesHarnessPin) {
+  // Streaming K=1: one epoch, one session, and the sketch holds exactly
+  // the single-client harness's OLT (within the bin bound).
+  FleetConfig cfg;
+  cfg.clients = 1;
+  cfg.compute = ProxyComputeConfig::idle();
+  cfg.base.seed = 7;
+  cfg.streaming = true;
+  FleetMetrics stream = run_fleet(test_corpus(), cfg);
+
+  core::RunConfig expected_cfg = cfg.base;
+  expected_cfg.seed = cfg.base.seed + 1;
+  expected_cfg.testbed.fade_seed = cfg.base.testbed.fade_seed + 1;
+  core::RunResult expected = core::ExperimentRunner::run(
+      core::Scheme::kParcelInd, test_page(), expected_cfg);
+
+  EXPECT_EQ(stream.admitted, 1);
+  EXPECT_EQ(stream.epochs, 1);
+  ASSERT_EQ(stream.olt_stats.count(), 1u);
+  // Exact fields of the sketch are exact: min == max == the session OLT.
+  EXPECT_EQ(stream.olt_stats.min(), expected.olt.sec());
+  EXPECT_EQ(stream.olt_stats.max(), expected.olt.sec());
+  EXPECT_EQ(stream.energy_j_total, expected.radio.total.j());
+}
+
+TEST(FleetStreaming, EpochPartitionPropertyAcrossArrivalRates) {
+  // Property over an arrival-rate grid: plans always cover [0, K) with
+  // consecutive epochs, honor the minimum size on every epoch except the
+  // last, and every parallel plan passes the runner's checked invariants
+  // (run_fleet throws std::logic_error on any boundary violation).
+  for (double interarrival_ms : {1.0, 20.0, 500.0, 5000.0}) {
+    for (std::uint64_t seed : {1ULL, 9ULL}) {
+      SCOPED_TRACE("interarrival_ms=" + std::to_string(interarrival_ms) +
+                   " seed=" + std::to_string(seed));
+      FleetConfig cfg;
+      cfg.clients = 12;
+      cfg.arrival_seed = seed;
+      cfg.mean_interarrival = util::Duration::millis(interarrival_ms);
+      cfg.base.seed = 3 + seed;
+      cfg.streaming = true;
+      cfg.epoch_min_sessions = 3;
+      cfg.jobs = 2;
+
+      ClientColumns cols = derive_client_columns(cfg, test_corpus().size());
+      EpochPlan plan = plan_epochs(test_corpus(), cols, cfg);
+      ASSERT_FALSE(plan.epochs.empty());
+      EXPECT_EQ(plan.epochs.front().begin, 0u);
+      EXPECT_EQ(plan.epochs.back().end, cols.size());
+      for (std::size_t e = 0; e < plan.epochs.size(); ++e) {
+        EXPECT_LT(plan.epochs[e].begin, plan.epochs[e].end);
+        if (e > 0) {
+          EXPECT_EQ(plan.epochs[e].begin, plan.epochs[e - 1].end);
+        }
+        if (e + 1 < plan.epochs.size()) {
+          EXPECT_GE(plan.epochs[e].end - plan.epochs[e].begin, 3u);
+        }
+      }
+
+      // The checked invariant is the real property: a bad boundary throws.
+      FleetMetrics m = run_fleet(test_corpus(), cfg);
+      EXPECT_EQ(m.admitted + m.shed, cfg.clients);
+      EXPECT_EQ(m.epochs, static_cast<int>(plan.epochs.size()));
+    }
+  }
+}
+
+TEST(FleetStreaming, StreamingRejectsExplicitSpecs) {
+  FleetConfig cfg;
+  cfg.streaming = true;
+  std::vector<ClientSpec> specs(1);
+  EXPECT_THROW(run_fleet(test_corpus(), specs, cfg), std::invalid_argument);
+  FleetConfig bad = cfg;
+  bad.epoch_min_sessions = 0;
+  EXPECT_THROW(run_fleet(test_corpus(), bad), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------

@@ -136,6 +136,55 @@ TEST_F(ParseCacheTest, ClearReleasesEntriesButNotOutstandingArtifacts) {
   EXPECT_EQ((*refs)[0].target, "/bg.png");
 }
 
+TEST_F(ParseCacheTest, SweepDropsDeadEntriesAndKeepsOwnedOnes) {
+  auto corpus = shared("<img src=\"/corpus.png\">");  // we keep owning this
+  auto transient = shared("<img src=\"/transient.png\">");
+  ParseCache::instance().html(*corpus, corpus);
+  ParseCache::instance().html(*transient, transient);
+  ASSERT_EQ(ParseCache::instance().size(), 2u);
+  transient.reset();  // cache becomes the string's only owner: dead weight
+  EXPECT_EQ(ParseCache::instance().sweep_transient(), 1u);
+  EXPECT_EQ(ParseCache::instance().size(), 1u);
+  // The surviving corpus entry still hits.
+  ParseCache::instance().reset_stats();
+  ParseCache::instance().html(*corpus, corpus);
+  EXPECT_EQ(ParseCache::instance().stats().html_hits, 1u);
+}
+
+TEST_F(ParseCacheTest, SweepKeepsEntriesWhoseArtifactIsStillBorrowed) {
+  auto js = shared("fetch(\"/borrowed.json\");");
+  auto prog = ParseCache::instance().js(*js, js);
+  js.reset();
+  // The artifact borrows views from the pinned string; while we hold it,
+  // sweeping must not free the backing bytes.
+  EXPECT_EQ(ParseCache::instance().sweep_transient(), 0u);
+  ASSERT_EQ(prog->references.size(), 1u);
+  EXPECT_EQ(prog->references[0].target, "/borrowed.json");
+  prog.reset();
+  EXPECT_EQ(ParseCache::instance().sweep_transient(), 1u);
+  EXPECT_EQ(ParseCache::instance().size(), 0u);
+}
+
+TEST_F(ParseCacheTest, SweepTreatsDocumentAndInlineScriptsAsOneGroup) {
+  auto doc = shared(
+      "<script>fetch(\"/one.json\");</script>"
+      "<script>fetch(\"/two.json\");</script>");
+  {
+    auto tokens = ParseCache::instance().html(*doc, doc);
+    ParseCache::instance().js((*tokens)[0].script, doc);
+    ParseCache::instance().js((*tokens)[1].script, doc);
+  }
+  ASSERT_EQ(ParseCache::instance().size(), 3u);
+  // The three entries pin the same string. While the document is owned
+  // outside the cache, the whole group must survive — the inline-script
+  // entries alone cannot justify freeing bytes the document entry keys.
+  EXPECT_EQ(ParseCache::instance().sweep_transient(), 0u);
+  doc.reset();
+  // Now the group is fully internal: all three go together.
+  EXPECT_EQ(ParseCache::instance().sweep_transient(), 3u);
+  EXPECT_EQ(ParseCache::instance().size(), 0u);
+}
+
 TEST_F(ParseCacheTest, CssCommentPathReturnsViewsIntoOriginal) {
   auto css = shared(
       "/* lead */ .a { background: url(/one.png); }\n"

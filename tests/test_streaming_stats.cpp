@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/streaming_stats.hpp"
+#include "util/rng.hpp"
+
+namespace parcel::core {
+namespace {
+
+// Exact nearest-rank quantile (the statistic LogHistogram approximates):
+// the ceil(pct/100 * N)-th smallest value, rank clamped to [1, N].
+double exact_nearest_rank(std::vector<double> values, double pct) {
+  std::sort(values.begin(), values.end());
+  auto n = static_cast<double>(values.size());
+  auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::min(n, std::ceil(pct / 100.0 * n))));
+  return values[rank - 1];
+}
+
+// The documented contract: for values inside [min_value, max_value), the
+// sketch quantile is within relative_error_bound() of the exact
+// nearest-rank order statistic.
+void expect_within_bound(const LogHistogram& hist,
+                         const std::vector<double>& values, double pct) {
+  double exact = exact_nearest_rank(values, pct);
+  double approx = hist.quantile(pct);
+  double bound = hist.relative_error_bound();
+  EXPECT_NEAR(approx, exact, bound * exact + 1e-12)
+      << "pct=" << pct << " exact=" << exact << " approx=" << approx;
+}
+
+TEST(LogHistogram, LayoutValidation) {
+  EXPECT_THROW(LogHistogram({-1.0, 1e6, 48}), std::invalid_argument);
+  EXPECT_THROW(LogHistogram({0.0, 1e6, 48}), std::invalid_argument);
+  EXPECT_THROW(LogHistogram({1e-6, 1e-6, 48}), std::invalid_argument);
+  EXPECT_THROW(LogHistogram({1e-3, 1e-6, 48}), std::invalid_argument);
+  EXPECT_THROW(LogHistogram({1e-6, 1e6, 0}), std::invalid_argument);
+  LogHistogram ok;  // defaults are valid
+  EXPECT_EQ(ok.count(), 0u);
+  EXPECT_EQ(ok.quantile(50.0), 0.0);  // empty
+}
+
+TEST(LogHistogram, ErrorBoundMatchesBinGeometry) {
+  // √γ - 1 with γ = 10^(1/bins_per_decade).
+  LogHistogram hist({1e-6, 1e6, 48});
+  double gamma = std::pow(10.0, 1.0 / 48.0);
+  EXPECT_NEAR(hist.relative_error_bound(), std::sqrt(gamma) - 1.0, 1e-12);
+  EXPECT_LT(hist.relative_error_bound(), 0.025);  // 2.4% at the default
+}
+
+TEST(LogHistogram, SingleValueRoundTripsWithinBound) {
+  LogHistogram hist;
+  hist.add(0.137);
+  EXPECT_EQ(hist.count(), 1u);
+  for (double pct : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(hist.quantile(pct), 0.137,
+                0.137 * hist.relative_error_bound());
+  }
+}
+
+TEST(LogHistogram, UnderflowAndOverflowAreClamped) {
+  LogHistogram hist({1e-3, 1e3, 16});
+  hist.add(0.0);    // below min (idle-queue waits are exactly zero)
+  hist.add(-5.0);   // negative: underflow by definition
+  hist.add(1e-9);   // positive but below min
+  hist.add(1e9);    // above max
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.quantile(10.0), 0.0);   // rank 1 -> underflow bin
+  EXPECT_EQ(hist.quantile(75.0), 0.0);   // rank 3 -> still underflow
+  EXPECT_EQ(hist.quantile(100.0), 1e3);  // rank 4 -> overflow clamps
+}
+
+TEST(LogHistogram, NaNCountsAsUnderflow) {
+  LogHistogram hist;
+  hist.add(std::nan(""));
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.quantile(50.0), 0.0);
+}
+
+TEST(LogHistogram, AddNMatchesRepeatedAdd) {
+  LogHistogram a, b;
+  a.add_n(0.25, 1000);
+  for (int i = 0; i < 1000; ++i) b.add(0.25);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LogHistogram, MergeIsCommutativeAndAssociative) {
+  util::Rng rng(404);
+  LogHistogram parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      parts[p].add(rng.lognormal(-2.0 + p, 1.5));
+    }
+  }
+  // (a + b) + c
+  LogHistogram abc = parts[0];
+  abc.merge(parts[1]);
+  abc.merge(parts[2]);
+  // c + (b + a)
+  LogHistogram cba = parts[2];
+  LogHistogram ba = parts[1];
+  ba.merge(parts[0]);
+  cba.merge(ba);
+  EXPECT_EQ(abc, cba);
+  EXPECT_EQ(abc.count(), 1500u);
+}
+
+TEST(LogHistogram, MergeRejectsLayoutMismatch) {
+  LogHistogram a({1e-6, 1e6, 48});
+  LogHistogram b({1e-6, 1e6, 32});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  LogHistogram c({1e-5, 1e6, 48});
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantileErrorBoundOnAdversarialDistributions) {
+  const std::vector<double> pcts{1.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                 95.0, 99.0, 99.9, 100.0};
+
+  // Heavy-tailed: Pareto spreads mass over many decades.
+  {
+    util::Rng rng(1);
+    LogHistogram hist;
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+      values.push_back(rng.pareto(1e-3, 1.1));
+      hist.add(values.back());
+    }
+    for (double pct : pcts) expect_within_bound(hist, values, pct);
+  }
+
+  // Clustered just around bin edges: powers of γ with jitter, the
+  // worst case for midpoint reporting.
+  {
+    util::Rng rng(2);
+    LogHistogram hist;
+    double gamma = std::pow(10.0, 1.0 / 48.0);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+      double edge = std::pow(gamma, rng.uniform_int(0, 400));
+      double v = 1e-4 * edge * (1.0 + 1e-9 * rng.uniform(-1.0, 1.0));
+      values.push_back(v);
+      hist.add(v);
+    }
+    for (double pct : pcts) expect_within_bound(hist, values, pct);
+  }
+
+  // Bimodal point masses: exact quantiles jump between the two atoms.
+  {
+    LogHistogram hist;
+    std::vector<double> values;
+    for (int i = 0; i < 600; ++i) {
+      double v = (i % 3 == 0) ? 0.004 : 7.5;
+      values.push_back(v);
+      hist.add(v);
+    }
+    for (double pct : pcts) expect_within_bound(hist, values, pct);
+  }
+}
+
+TEST(StreamingStats, EmptyReportsZeros) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.quantile(50.0), 0.0);
+}
+
+TEST(StreamingStats, ExactFieldsAreExact) {
+  StreamingStats s;
+  // Integer-valued doubles: sums are exact, so EXPECT_EQ is legitimate.
+  for (double v : {5.0, 1.0, 9.0, 3.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.sum(), 18.0);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesBulkAdd) {
+  StreamingStats bulk, left, right;
+  for (int i = 1; i <= 100; ++i) {
+    double v = static_cast<double>(i);
+    bulk.add(v);
+    (i <= 50 ? left : right).add(v);
+  }
+  left.merge(right);
+  // Sums of integers are exact regardless of fold order, so the merged
+  // aggregate is not just close — it is equal.
+  EXPECT_EQ(left, bulk);
+}
+
+TEST(StreamingStats, MergeWithEmptySidesIsIdentity) {
+  StreamingStats s, empty;
+  s.add(2.5);
+  s.add(0.125);
+  StreamingStats onto_empty;
+  onto_empty.merge(s);
+  EXPECT_EQ(onto_empty, s);
+  StreamingStats copy = s;
+  copy.merge(empty);
+  EXPECT_EQ(copy, s);
+}
+
+}  // namespace
+}  // namespace parcel::core

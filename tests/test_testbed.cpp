@@ -20,7 +20,7 @@ TEST(Testbed, HostsEveryDomainOfAPage) {
   web::WebPage page = make_page();
   Testbed testbed{TestbedConfig{}};
   testbed.host_page(page);
-  for (const std::string& domain : page.domains()) {
+  for (const std::string& domain : page.domain_names()) {
     EXPECT_NE(testbed.origin(domain), nullptr) << domain;
     EXPECT_NE(testbed.network().endpoint(domain), nullptr) << domain;
     EXPECT_TRUE(testbed.network().has_route("client", domain)) << domain;
@@ -33,7 +33,7 @@ TEST(Testbed, ClientRouteIsLongerThanProxyRoute) {
   web::WebPage page = make_page();
   Testbed testbed{TestbedConfig{}};
   testbed.host_page(page);
-  std::string domain = *page.domains().begin();
+  std::string domain = *page.domain_names().begin();
   net::Path client = testbed.network().route("client", domain);
   net::Path proxy = testbed.network().route("proxy", domain);
   // The proxy's path to origins skips the radio: much lower RTT — the
@@ -60,7 +60,7 @@ TEST(Testbed, HeterogeneousDelaysDifferAcrossDomains) {
   Testbed testbed(cfg);
   testbed.host_page(page);
   std::set<long> delays_us;
-  for (const std::string& domain : page.domains()) {
+  for (const std::string& domain : page.domain_names()) {
     net::Path path = testbed.network().route("proxy", domain);
     delays_us.insert(std::lround(path.propagation_delay().us()));
   }

@@ -112,7 +112,7 @@ TEST(PageGenerator, SpansMultipleDomains) {
   spec.extra_domains = 8;
   spec.seed = 51;
   WebPage page = PageGenerator::generate(spec);
-  EXPECT_GE(page.domains().size(), 4u);
+  EXPECT_GE(page.domain_names().size(), 4u);
 }
 
 TEST(PageGenerator, GalleryRegistersClickHandlers) {

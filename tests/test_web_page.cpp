@@ -60,7 +60,7 @@ TEST(WebPage, AggregatesSizesAndDomains) {
   EXPECT_EQ(page.total_bytes(), 1000 + late_size);
   EXPECT_EQ(page.onload_bytes(), 1000);
   EXPECT_EQ(page.count_of(ObjectType::kImage), 1u);
-  EXPECT_EQ(page.domains().size(), 3u);
+  EXPECT_EQ(page.domain_names().size(), 3u);
   EXPECT_EQ(page.objects_on("cdn.example").size(), 1u);
 }
 
