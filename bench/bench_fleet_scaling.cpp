@@ -28,6 +28,19 @@
 // epoch-parallel wall-clock speedup recorded, and the process peak RSS
 // checked against a ceiling that a materialize-everything run of the same
 // K could not meet.
+//
+// ISSUE 8 adds the sharded-fleet legs:
+//
+//  * N-shards sweep — the same offered load behind a rendezvous front of
+//    N = 1..--shards proxies (own L1 + pool each, shared L2): aggregate
+//    L1 hit rate must fall as the corpus re-warms per shard, the L2 must
+//    absorb the loss as backplane transfers, and p95 fleet OLT at the top
+//    N must not exceed the single-proxy figure (capacity grew N-fold).
+//
+//  * Crash handoff — N=4 with a seeded mid-run shard crash + restart:
+//    every session must still complete (handed-off, never lost), with
+//    recovery time and redo work accounted, bitwise identical across
+//    --jobs.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -37,6 +50,7 @@
 
 #include "bench/common.hpp"
 #include "fleet/fleet_runner.hpp"
+#include "fleet/shard.hpp"
 #include "replay/replay_store.hpp"
 #include "web/generator.hpp"
 #include "web/parse_cache.hpp"
@@ -73,7 +87,9 @@ bool fleet_identical(const fleet::FleetMetrics& a,
         x.olt.sec() != y.olt.sec() || x.tlt.sec() != y.tlt.sec() ||
         x.session.olt.sec() != y.session.olt.sec() ||
         x.session.radio.total.j() != y.session.radio.total.j() ||
-        x.session.downlink_bytes != y.session.downlink_bytes) {
+        x.session.downlink_bytes != y.session.downlink_bytes ||
+        x.handoffs != y.handoffs || x.recovery.sec() != y.recovery.sec() ||
+        x.redo_sec != y.redo_sec || x.redo_bytes != y.redo_bytes) {
       return false;
     }
   }
@@ -81,7 +97,20 @@ bool fleet_identical(const fleet::FleetMetrics& a,
          a.fetch_parse_sec == b.fetch_parse_sec &&
          a.store.hits == b.store.hits && a.store.misses == b.store.misses &&
          a.store.bytes_saved == b.store.bytes_saved &&
-         a.compute.completed == b.compute.completed;
+         a.l2.hits == b.l2.hits && a.l2.misses == b.l2.misses &&
+         a.compute.completed == b.compute.completed &&
+         a.compute.transfer_busy_sec == b.compute.transfer_busy_sec &&
+         a.crash_handoffs == b.crash_handoffs &&
+         a.crash_killed_tasks == b.crash_killed_tasks &&
+         a.redo_sec_total == b.redo_sec_total &&
+         a.redo_bytes_total == b.redo_bytes_total &&
+         a.recovery_sec_total == b.recovery_sec_total &&
+         a.recovery_sec_max == b.recovery_sec_max &&
+         a.fault_retransmits == b.fault_retransmits &&
+         a.fault_drops == b.fault_drops &&
+         a.fault_deferrals == b.fault_deferrals &&
+         a.direct_fetches == b.direct_fetches &&
+         a.degraded_sessions == b.degraded_sessions;
 }
 
 /// Bitwise identity for streaming-mode metrics: integer counters, sketch
@@ -110,7 +139,20 @@ bool streaming_identical(const fleet::FleetMetrics& a,
          a.compute.fetch_busy_sec == b.compute.fetch_busy_sec &&
          a.compute.parse_busy_sec == b.compute.parse_busy_sec &&
          a.compute.bundle_busy_sec == b.compute.bundle_busy_sec &&
-         a.compute.last_finish.sec() == b.compute.last_finish.sec();
+         a.compute.transfer_busy_sec == b.compute.transfer_busy_sec &&
+         a.compute.last_finish.sec() == b.compute.last_finish.sec() &&
+         a.recovery_stats == b.recovery_stats &&
+         a.l2.hits == b.l2.hits && a.l2.misses == b.l2.misses &&
+         a.crash_handoffs == b.crash_handoffs &&
+         a.crash_killed_tasks == b.crash_killed_tasks &&
+         a.redo_sec_total == b.redo_sec_total &&
+         a.redo_bytes_total == b.redo_bytes_total &&
+         a.recovery_sec_total == b.recovery_sec_total &&
+         a.fault_retransmits == b.fault_retransmits &&
+         a.fault_drops == b.fault_drops &&
+         a.fault_deferrals == b.fault_deferrals &&
+         a.direct_fetches == b.direct_fetches &&
+         a.degraded_sessions == b.degraded_sessions;
 }
 
 /// A deliberately light corpus for the K=100,000 leg: the point is fleet
@@ -330,6 +372,114 @@ int main(int argc, char** argv) {
   std::printf("  streaming metrics bitwise-identical across jobs 1/4: %s\n",
               stream_identical ? "yes" : "NO — DETERMINISM BROKEN");
 
+  // ---- Leg 4: N-shards sweep (ISSUE 8). Fixed offered load behind a
+  // rendezvous front of N proxies, each with its own L1 and 2-worker
+  // pool, over a shared L2. The front hashes client ids, so the same page
+  // re-warms on every shard — that is the L1 hit-rate loss axis — while
+  // the L2 converts those repeat misses into backplane transfers and the
+  // N-fold pool capacity flattens the queueing tail.
+  int shard_k = opts.quick ? 32 : 64;
+  std::vector<int> shard_levels;
+  for (int nshards = 1; nshards <= opts.shards; nshards *= 2) {
+    shard_levels.push_back(nshards);
+  }
+  // --l2-cost is ms per MiB moved; the task model wants bytes/sec.
+  double l2_rate = opts.l2_cost_ms_per_mib > 0.0
+                       ? 1048576.0 * 1000.0 / opts.l2_cost_ms_per_mib
+                       : 0.0;
+
+  fleet::FleetConfig shard_cfg;
+  shard_cfg.scheme = core::Scheme::kParcelInd;
+  shard_cfg.arrival_seed = opts.arrival_seed;
+  shard_cfg.mean_interarrival = util::Duration::millis(2);
+  shard_cfg.compute.workers = 2;
+  shard_cfg.compute.max_queue = 0;  // no shedding: completion is the bar
+  shard_cfg.compute.costs.bundle_bytes_per_sec = 10e6;
+  shard_cfg.compute.costs.transfer_bytes_per_sec = l2_rate;
+  shard_cfg.base = bench::replay_run_config(42);
+  shard_cfg.clients = shard_k;
+
+  std::printf("\n-- N-shards sweep (K=%d, 2 workers/shard, L2 at %.1f "
+              "ms/MiB)\n",
+              shard_k, opts.l2_cost_ms_per_mib);
+  std::vector<LevelRow> shard_rows;
+  for (int nshards : shard_levels) {
+    web::ParseCache::instance().clear();
+    fleet::FleetConfig cfg = shard_cfg;
+    cfg.shards = nshards;
+    LevelRow row;
+    row.k = nshards;
+    row.metrics = run_level(pages, cfg, identical);
+    std::printf("  N=%-2d  L1 hit rate %.3f  L2 hit rate %.3f  transfer "
+                "%.3fs  OLT p95 %.3fs  wait p95 %.3fs\n",
+                nshards, row.metrics.store.hit_rate(),
+                row.metrics.l2.hit_rate(),
+                row.metrics.compute.transfer_busy_sec, row.metrics.olt_p95,
+                row.metrics.wait_p95);
+    shard_rows.push_back(std::move(row));
+  }
+  bool l1_loss_ok = true;
+  for (std::size_t i = 1; i < shard_rows.size(); ++i) {
+    if (shard_rows[i].metrics.store.hit_rate() >=
+        shard_rows.front().metrics.store.hit_rate()) {
+      l1_loss_ok = false;
+    }
+  }
+  bool l2_absorbs_ok =
+      shard_rows.size() < 2 ||
+      shard_rows.back().metrics.compute.transfer_busy_sec > 0.0;
+  bool shard_tail_ok = shard_rows.back().metrics.olt_p95 <=
+                       shard_rows.front().metrics.olt_p95;
+  std::printf("  L1 hit rate below the single-proxy figure at every N>1: "
+              "%s\n",
+              l1_loss_ok ? "yes" : "NO");
+  std::printf("  L2 absorbed repeat misses as transfers: %s\n",
+              l2_absorbs_ok ? "yes" : "NO");
+  std::printf("  p95 OLT at N=%d <= single proxy: %s\n",
+              shard_rows.back().k, shard_tail_ok ? "yes" : "NO");
+
+  // ---- Leg 5: crash handoff (ISSUE 8). N=4 with a seeded mid-run shard
+  // crash and later restart: the victim's queued and in-flight sessions
+  // must migrate to survivors and still complete, with recovery time and
+  // redo work accounted — and the whole story bitwise identical across
+  // --jobs (the handoff happens on the macro timeline, which never
+  // depends on micro-run execution order).
+  fleet::FleetConfig crash_cfg = shard_cfg;
+  crash_cfg.shards = std::min(4, std::max(2, opts.shards));
+  // Crash mid-arrival-window (K * 2 ms mean spacing), restart shortly
+  // after; the seed picks the victim shard deterministically.
+  double crash_at_sec = static_cast<double>(shard_k) * 0.002 * 0.5;
+  crash_cfg.shard_faults.seed = 9;
+  crash_cfg.shard_faults.proxy_crash_at =
+      util::TimePoint::at_seconds(crash_at_sec);
+  crash_cfg.shard_faults.proxy_restart_after = util::Duration::millis(50);
+  int victim = fleet::ShardedFleet::crash_victim(crash_cfg);
+
+  std::printf("\n-- crash handoff (N=%d, crash t=%.3fs victim shard %d, "
+              "restart +50ms)\n",
+              crash_cfg.shards, crash_at_sec, victim);
+  web::ParseCache::instance().clear();
+  fleet::FleetMetrics crash_m = run_level(pages, crash_cfg, identical);
+  bool crash_all_complete =
+      crash_m.shed == 0 && crash_m.admitted == shard_k;
+  bool crash_handoff_ok = crash_m.crash_handoffs > 0 &&
+                          crash_m.crash_killed_tasks > 0 &&
+                          crash_m.recovery_sec_total > 0.0 &&
+                          crash_m.redo_sec_total > 0.0;
+  std::printf("  handoffs %llu  tasks killed %llu  redo %.3fs / %lld "
+              "bytes\n",
+              static_cast<unsigned long long>(crash_m.crash_handoffs),
+              static_cast<unsigned long long>(crash_m.crash_killed_tasks),
+              crash_m.redo_sec_total,
+              static_cast<long long>(crash_m.redo_bytes_total));
+  std::printf("  recovery total %.3fs  max %.3fs\n",
+              crash_m.recovery_sec_total, crash_m.recovery_sec_max);
+  std::printf("  all %d sessions completed after the crash: %s\n", shard_k,
+              crash_all_complete ? "yes" : "NO");
+  std::printf("  handoff machinery engaged (handoffs, kills, recovery, "
+              "redo all nonzero): %s\n",
+              crash_handoff_ok ? "yes" : "NO");
+
   FILE* json = std::fopen("BENCH_fleet.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "error: cannot write BENCH_fleet.json\n");
@@ -410,6 +560,50 @@ int main(int argc, char** argv) {
   std::fprintf(json, "    \"peak_rss_ceiling_mib\": %.0f,\n", kRssCeilingMib);
   std::fprintf(json, "    \"peak_rss_ok\": %s\n  },\n",
                rss_ok ? "true" : "false");
+  std::fprintf(json, "  \"shards\": {\n");
+  std::fprintf(json, "    \"clients\": %d,\n", shard_k);
+  std::fprintf(json, "    \"workers_per_shard\": %d,\n",
+               shard_cfg.compute.workers);
+  std::fprintf(json, "    \"l2_cost_ms_per_mib\": %.3f,\n",
+               opts.l2_cost_ms_per_mib);
+  for (const LevelRow& row : shard_rows) {
+    const fleet::FleetMetrics& m = row.metrics;
+    std::fprintf(json,
+                 "    \"N_%d\": {\"l1_hit_rate\": %.4f, \"l2_hit_rate\": "
+                 "%.4f, \"transfer_busy_sec\": %.6f, \"olt_p95\": %.6f, "
+                 "\"wait_p95\": %.6f, \"fetch_parse_sec\": %.6f},\n",
+                 row.k, m.store.hit_rate(), m.l2.hit_rate(),
+                 m.compute.transfer_busy_sec, m.olt_p95, m.wait_p95,
+                 m.fetch_parse_sec);
+  }
+  std::fprintf(json, "    \"l1_hit_rate_falls_with_n\": %s,\n",
+               l1_loss_ok ? "true" : "false");
+  std::fprintf(json, "    \"l2_absorbs_repeat_misses\": %s,\n",
+               l2_absorbs_ok ? "true" : "false");
+  std::fprintf(json, "    \"p95_olt_not_worse_at_max_n\": %s\n  },\n",
+               shard_tail_ok ? "true" : "false");
+  std::fprintf(json, "  \"crash_handoff\": {\n");
+  std::fprintf(json, "    \"shards\": %d,\n", crash_cfg.shards);
+  std::fprintf(json, "    \"victim\": %d,\n", victim);
+  std::fprintf(json, "    \"crash_at_sec\": %.4f,\n", crash_at_sec);
+  std::fprintf(json, "    \"restart_after_sec\": 0.05,\n");
+  std::fprintf(json, "    \"handoffs\": %llu,\n",
+               static_cast<unsigned long long>(crash_m.crash_handoffs));
+  std::fprintf(json, "    \"tasks_killed\": %llu,\n",
+               static_cast<unsigned long long>(crash_m.crash_killed_tasks));
+  std::fprintf(json, "    \"redo_sec_total\": %.6f,\n",
+               crash_m.redo_sec_total);
+  std::fprintf(json, "    \"redo_bytes_total\": %lld,\n",
+               static_cast<long long>(crash_m.redo_bytes_total));
+  std::fprintf(json, "    \"recovery_sec_total\": %.6f,\n",
+               crash_m.recovery_sec_total);
+  std::fprintf(json, "    \"recovery_sec_max\": %.6f,\n",
+               crash_m.recovery_sec_max);
+  std::fprintf(json, "    \"olt_p95\": %.6f,\n", crash_m.olt_p95);
+  std::fprintf(json, "    \"all_sessions_completed\": %s,\n",
+               crash_all_complete ? "true" : "false");
+  std::fprintf(json, "    \"handoff_engaged\": %s\n  },\n",
+               crash_handoff_ok ? "true" : "false");
   std::fprintf(json, "  \"deterministic_across_jobs\": %s\n",
                identical ? "true" : "false");
   std::fprintf(json, "}\n");
@@ -417,7 +611,9 @@ int main(int argc, char** argv) {
   std::printf("wrote BENCH_fleet.json\n");
 
   return (identical && amplification_ok && knee_ok && shed_ok &&
-          stream_identical && stream_epochs_ok && rss_ok)
+          stream_identical && stream_epochs_ok && rss_ok && l1_loss_ok &&
+          l2_absorbs_ok && shard_tail_ok && crash_all_complete &&
+          crash_handoff_ok)
              ? 0
              : 1;
 }

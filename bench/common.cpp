@@ -1,6 +1,8 @@
 #include "bench/common.hpp"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -44,6 +46,29 @@ int parse_positive_int(const char* flag, const char* text) {
   return static_cast<int>(v);
 }
 
+// Strict non-negative finite decimal parse (costs; 0 is legal). strtod
+// accepts "inf"/"nan"/hex-float spellings and leading signs, none of
+// which make sense for a cost knob, so those are rejected explicitly.
+double parse_nonneg_double(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text, &end);
+  bool plain_decimal =
+      text[0] != '\0' && (std::isdigit(static_cast<unsigned char>(text[0])) ||
+                          text[0] == '.');
+  // strtod happily reads "0x10" as a hex float; a cost knob should not.
+  if (text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    plain_decimal = false;
+  }
+  if (errno != 0 || end == text || *end != '\0' || !plain_decimal ||
+      !std::isfinite(v) || v < 0.0) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects a non-negative number, got '" +
+                                text + "'");
+  }
+  return v;
+}
+
 // Strict unsigned 64-bit parse (seeds; 0 is legal).
 std::uint64_t parse_u64(const char* flag, const char* text) {
   char* end = nullptr;
@@ -74,6 +99,15 @@ int parse_positive_or_die(const char* flag, const char* text) {
 std::uint64_t parse_u64_or_die(const char* flag, const char* text) {
   try {
     return parse_u64(flag, text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+double parse_nonneg_double_or_die(const char* flag, const char* text) {
+  try {
+    return parse_nonneg_double(flag, text);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::exit(2);
@@ -114,6 +148,12 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       opts.workers = parse_positive_or_die(
           "--workers", flag_value("--workers", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opts.shards = parse_positive_or_die(
+          "--shards", flag_value("--shards", argc, argv, i));
+    } else if (std::strcmp(argv[i], "--l2-cost") == 0) {
+      opts.l2_cost_ms_per_mib = parse_nonneg_double_or_die(
+          "--l2-cost", flag_value("--l2-cost", argc, argv, i));
     } else if (std::strcmp(argv[i], "--stream-clients") == 0) {
       opts.stream_clients = parse_positive_or_die(
           "--stream-clients", flag_value("--stream-clients", argc, argv, i));

@@ -45,6 +45,13 @@ struct BenchOptions {
   /// ISSUE 7). Large by design — streaming mode never materializes
   /// per-session results, so this scales far past --clients.
   int stream_clients = 100000;
+  /// Sharded-fleet knobs (bench_fleet_scaling; ISSUE 8): the largest
+  /// shard count in the N-shards sweep, and the L2 backplane transfer
+  /// cost in milliseconds per MiB moved (the kTransfer byte rate is
+  /// derived as 1 MiB / (l2_cost_ms_per_mib / 1000)). 0 keeps the task's
+  /// base cost only.
+  int shards = 8;
+  double l2_cost_ms_per_mib = 4.0;
   /// Fault plan applied to every run config built after parse_options
   /// (see replay_run_config / live_run_config). Off by default, so the
   /// BENCH_*.json baselines stay byte-comparable across builds.
@@ -52,19 +59,23 @@ struct BenchOptions {
 };
 
 /// Parse --pages N / --rounds N / --jobs N / --clients N / --workers N /
-/// --arrival-seed N / --quick / --faults SPEC from argv (see
-/// sim::FaultPlan::parse for the spec grammar; "off" disables). The
-/// PARCEL_FAULT_SEED environment variable overrides the plan's seed.
-/// Malformed values abort with a clear error on stderr.
+/// --shards N / --l2-cost MS_PER_MIB / --arrival-seed N / --quick /
+/// --faults SPEC from argv (see sim::FaultPlan::parse for the spec
+/// grammar; "off" disables). The PARCEL_FAULT_SEED environment variable
+/// overrides the plan's seed. Malformed values abort with a clear error
+/// on stderr.
 BenchOptions parse_options(int argc, char** argv);
 
 /// Strict flag-value parsers behind parse_options, exposed so tests can
-/// assert the reject-garbage contract without spawning a process. Both
+/// assert the reject-garbage contract without spawning a process. All
 /// throw std::invalid_argument (naming `flag`) on garbage, trailing
 /// junk, empty strings, out-of-range values, or overflow; parse_options
 /// converts the throw into an exit(2) usage error.
 int parse_positive_int(const char* flag, const char* text);
 std::uint64_t parse_u64(const char* flag, const char* text);
+/// Finite decimal >= 0 (e.g. --l2-cost); rejects negatives (including
+/// "-0"), inf/nan spellings, hex floats, and trailing junk.
+double parse_nonneg_double(const char* flag, const char* text);
 
 /// Default controlled-replay run configuration (§7.2: no fading in the
 /// controlled comparisons; variability handled by seeds).

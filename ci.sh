@@ -100,6 +100,26 @@ awk -F': ' '/"deterministic_across_jobs"/ { det = ($2 ~ /true/) }
                   } else { print "fleet smoke FAILED"; exit 1 } }' \
   build-ci/bench/BENCH_fleet.json
 
+echo "==> Sharded fleet smoke (N-shards sweep + N=4 mid-run crash handoff)"
+# The bench runs the shard sweep and the crash leg at --jobs 1 and 4 and
+# exits nonzero unless the runs are bitwise identical; the awk pass
+# re-asserts the recorded flags (tiering physics, 100% session completion
+# after the crash, handoff machinery engaged) from the JSON.
+(cd build-ci/bench && ./bench_fleet_scaling --quick --shards 4)
+awk -F': ' '/"l1_hit_rate_falls_with_n"/ { dilute = ($2 ~ /true/) }
+            /"l2_absorbs_repeat_misses"/ { l2 = ($2 ~ /true/) }
+            /"p95_olt_not_worse_at_max_n"/ { tail = ($2 ~ /true/) }
+            /"all_sessions_completed"/ { done = ($2 ~ /true/) }
+            /"handoff_engaged"/ { engaged = ($2 ~ /true/) }
+            /"handoffs"/ { handoffs = $2 + 0 }
+            /"deterministic_across_jobs"/ { det = ($2 ~ /true/) }
+            END { if (dilute && l2 && tail && done && engaged && \
+                      handoffs > 0 && det) {
+                    print "sharded smoke OK: " handoffs " handoffs, all" \
+                          " sessions completed, identical across jobs"
+                  } else { print "sharded fleet smoke FAILED"; exit 1 } }' \
+  build-ci/bench/BENCH_fleet.json
+
 echo "==> Streaming fleet smoke (K=100000: sketches, epoch-parallel, RSS)"
 # The streaming leg runs K=100,000 sessions at --jobs 1 and 4, asserts
 # bitwise metric identity in-process, and checks the peak-RSS ceiling
@@ -121,7 +141,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:FleetStreaming.*:SharedStore.*:ProxyCompute.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:FleetStreaming.*:SharedStore.*:ProxyCompute.*:ShardRouter.*:ProxyComputeCrash.*:ShardedFleet.*:ShardedStreaming.*'
 
 echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

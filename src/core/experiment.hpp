@@ -72,6 +72,16 @@ struct RunResult {
   /// First injected fault -> next delivered payload burst.
   util::Duration recovery = util::Duration::zero();
 
+  // Sharded-fleet handoff surface (ISSUE 8): stamped by the fleet layer
+  // onto the session result when the session was migrated off a crashed
+  // proxy shard; all zero outside sharded fleet runs. Never produced by
+  // the per-session simulation itself.
+  std::uint32_t shard_handoffs = 0;  // times migrated to a surviving shard
+  /// Crash instant -> the session's proxy work re-completed.
+  util::Duration handoff_recovery = util::Duration::zero();
+  double redo_service_sec = 0.0;  // proxy service seconds re-executed
+  util::Bytes redo_bytes = 0;     // bytes the tier moved a second time
+
   trace::PacketTrace trace;  // kept for timeline figures (6a, 7a)
 
   /// Discrete events the run's scheduler executed — the denominator for

@@ -39,9 +39,19 @@ EpochPlan plan_epochs(const std::vector<const web::WebPage*>& corpus,
                         "blackout windows couple proxy service to absolute "
                         "time across any boundary");
   }
+  if (config.shard_faults.proxy_crash_at.has_value()) {
+    return single_epoch(n,
+                        "shard crash: handoff re-routing couples every "
+                        "session to the crash instant, so the timeline "
+                        "cannot be partitioned");
+  }
 
   // Conservative per-page cold (all-miss) batch cost: every object is a
   // fetch (+ parse for text bodies) plus the client's bundle assembly.
+  // In a sharded fleet an object may instead cost one L2 transfer, so the
+  // per-object bound takes the dearer of the two paths; the single-worker
+  // drain walk below then still dominates every shard (each shard's work
+  // is a subsequence of the arrivals, served by at least one worker).
   std::vector<double> cold_cost_sec(corpus.size(), 0.0);
   for (std::size_t p = 0; p < corpus.size(); ++p) {
     const web::WebPage& page = *corpus[p];
@@ -49,12 +59,17 @@ EpochPlan plan_epochs(const std::vector<const web::WebPage*>& corpus,
         config.compute.costs.service_time(TaskKind::kBundle,
                                           page.total_bytes());
     for (const web::WebObject* object : page.objects()) {
-      cost += config.compute.costs.service_time(TaskKind::kFetch,
-                                                object->size);
+      util::Duration origin = config.compute.costs.service_time(
+          TaskKind::kFetch, object->size);
       if (web::is_parseable(object->type)) {
-        cost += config.compute.costs.service_time(TaskKind::kParse,
-                                                  object->size);
+        origin += config.compute.costs.service_time(TaskKind::kParse,
+                                                    object->size);
       }
+      if (config.shards > 1) {
+        origin = std::max(origin, config.compute.costs.service_time(
+                                      TaskKind::kTransfer, object->size));
+      }
+      cost += origin;
     }
     cold_cost_sec[p] = cost.sec();
   }

@@ -29,7 +29,11 @@
 //    queue state, and a shed client skips its store inserts, so the store
 //    evolution is no longer a pure function of the spec sequence;
 //  * blackout windows: service deferral couples the queue to absolute
-//    wall positions shared across epochs.
+//    wall positions shared across epochs;
+//  * a shard crash (FleetConfig::shard_faults): handoff re-routes live
+//    sessions at one absolute instant, and the victim's L1 loss changes
+//    every later store outcome — one serial timeline, with the reason
+//    recorded in FleetMetrics::epoch_degrade_reason.
 #pragma once
 
 #include <cstddef>

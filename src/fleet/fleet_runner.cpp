@@ -9,6 +9,7 @@
 #include "core/arena.hpp"
 #include "core/parallel_runner.hpp"
 #include "fleet/epoch_plan.hpp"
+#include "fleet/shard.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "web/parse_cache.hpp"
@@ -31,8 +32,21 @@ void FleetConfig::validate() const {
     throw std::invalid_argument(
         "FleetConfig: epoch_min_sessions must be >= 1");
   }
+  if (shards < 1) {
+    throw std::invalid_argument("FleetConfig: shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  if (l2_capacity < 0) {
+    throw std::invalid_argument("FleetConfig: l2_capacity must be >= 0");
+  }
   compute.validate();
   base.testbed.faults.validate();
+  shard_faults.validate();
+  if (shard_faults.proxy_crash_at.has_value() && shards < 2) {
+    throw std::invalid_argument(
+        "FleetConfig: a shard_faults crash requires shards >= 2 (a "
+        "single-proxy fleet has no survivor to hand sessions off to)");
+  }
 }
 
 ClientColumns derive_client_columns(const FleetConfig& config,
@@ -91,100 +105,76 @@ std::vector<ClientSpec> derive_clients(const FleetConfig& config,
 
 namespace {
 
-/// SoA view of the macro timeline's inputs (ISSUE 7 satellite). `client`
-/// and `weight` may be empty: the id then defaults to the local index and
-/// the weight to 1.0 (derived fleets — WFQ state stays epoch-sized).
-struct MacroColumns {
-  std::span<const double> arrival_sec;
-  std::span<const std::uint32_t> page_index;
-  std::span<const int> client;
-  std::span<const double> weight;
-};
+/// Sum src's flow counters into dst. bytes_stored is a point-in-time
+/// gauge, not a flow — callers set it from the final snapshot explicitly.
+void fold_store(SharedObjectStore::Stats& dst,
+                const SharedObjectStore::Stats& src) {
+  dst.hits += src.hits;
+  dst.misses += src.misses;
+  dst.evictions += src.evictions;
+  dst.bytes_saved += src.bytes_saved;
+}
 
-/// SoA macro outputs, indexed like the columns.
-struct MacroOut {
-  std::vector<std::uint8_t> shed;
-  std::vector<double> max_wait_sec;
-  std::vector<double> done_sec;
-  explicit MacroOut(std::size_t n)
-      : shed(n, 0), max_wait_sec(n, 0.0), done_sec(n, 0.0) {}
-};
-
-/// One macro timeline over clients [0, cols.size()): schedule arrivals,
-/// admission-control whole batches (503-style), route object needs
-/// through the shared store, submit surviving work to the compute pool.
-/// Exact and streaming modes, and every epoch, all run this same loop.
-void run_macro(const std::vector<const web::WebPage*>& corpus,
-               const MacroColumns& cols, sim::Scheduler& sched,
-               ProxyCompute& compute, SharedObjectStore& store,
-               MacroOut& out) {
-  const std::size_t n = cols.arrival_sec.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    sched.schedule_at(
-        util::TimePoint::at_seconds(cols.arrival_sec[i]), [&, i] {
-          const web::WebPage& page = *corpus[cols.page_index[i]];
-          const std::vector<const web::WebObject*>& objects = page.objects();
-
-          // Admission control: size the whole task batch first (a client
-          // is either served or refused, never half-queued). Misses cost
-          // a fetch plus, for text bodies, a parse/scan; the per-session
-          // bundle assembly is always the client's own work.
-          std::size_t batch = 1;
-          util::Duration batch_cost =
-              compute.cost_of(TaskKind::kBundle, page.total_bytes());
-          for (const web::WebObject* object : objects) {
-            if (!store.contains(*object)) {
-              batch += web::is_parseable(object->type) ? 2u : 1u;
-              batch_cost += compute.cost_of(TaskKind::kFetch, object->size);
-              if (web::is_parseable(object->type)) {
-                batch_cost += compute.cost_of(TaskKind::kParse, object->size);
-              }
-            }
-          }
-          if (!compute.can_accept(batch, batch_cost)) {
-            out.shed[i] = 1;
-            return;
-          }
-
-          int client =
-              cols.client.empty() ? static_cast<int>(i) : cols.client[i];
-          double weight = cols.weight.empty() ? 1.0 : cols.weight[i];
-          auto on_done = [&out, i](util::TimePoint finished,
-                                   util::Duration waited) {
-            out.max_wait_sec[i] = std::max(out.max_wait_sec[i], waited.sec());
-            out.done_sec[i] = std::max(out.done_sec[i], finished.sec());
-          };
-          for (const web::WebObject* object : objects) {
-            SharedObjectStore::Outcome outcome = store.request(*object);
-            if (outcome.hit) continue;  // served from the shared store
-            compute.submit(client, weight, TaskKind::kFetch, object->size,
-                           on_done);
-            if (web::is_parseable(object->type)) {
-              compute.submit(client, weight, TaskKind::kParse, object->size,
-                             on_done);
-            }
-          }
-          compute.submit(client, weight, TaskKind::kBundle, page.total_bytes(),
-                         on_done);
-        });
-  }
-  sched.run();
+void fold_compute(ProxyCompute::Stats& dst, const ProxyCompute::Stats& src) {
+  dst.completed += src.completed;
+  dst.fetch_busy_sec += src.fetch_busy_sec;
+  dst.parse_busy_sec += src.parse_busy_sec;
+  dst.bundle_busy_sec += src.bundle_busy_sec;
+  dst.transfer_busy_sec += src.transfer_busy_sec;
+  dst.crash_killed += src.crash_killed;
+  dst.last_finish = std::max(dst.last_finish, src.last_finish);
 }
 
 /// Per-epoch streaming aggregate: everything a finished epoch contributes
 /// to FleetMetrics, plus the state the boundary invariant check needs.
 struct EpochAgg {
   explicit EpochAgg(const core::LogHistogram::Layout& layout)
-      : olt(layout), tlt(layout), wait(layout), energy(layout) {}
+      : olt(layout), tlt(layout), wait(layout), energy(layout),
+        recovery(layout) {}
 
   int admitted = 0;
   int shed = 0;
   std::uint64_t sessions_ok = 0;
-  core::StreamingStats olt, tlt, wait, energy;
-  SharedObjectStore::Stats store;
-  ProxyCompute::Stats compute;
-  SharedObjectStore end_store;  // contents at epoch end (counters zero)
+  core::StreamingStats olt, tlt, wait, energy, recovery;
+  // Fleet fault/degradation counters (ISSUE 8 satellite 1): exact integer
+  // sums over the epoch's sessions — sketches never replace these.
+  std::uint64_t fault_retransmits = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_deferrals = 0;
+  std::uint64_t direct_fetches = 0;
+  std::uint64_t degraded_sessions = 0;
+  // Crash-handoff accounting (zero in parallel epochs — a crash degrades
+  // the plan to one serial epoch).
+  double recovery_sec_total = 0.0;
+  double recovery_sec_max = 0.0;
+  ShardedFleetStats fleet;
+  ShardSnapshot end_snap;  // store tiers at epoch end (counters zero)
 };
+
+/// Fold one admitted session's RunResult into the epoch aggregate.
+void fold_session(EpochAgg& agg, const core::RunResult& r, double wait_sec) {
+  agg.olt.add(r.olt.sec() + wait_sec);
+  agg.tlt.add(r.tlt.sec() + wait_sec);
+  agg.wait.add(wait_sec);
+  agg.energy.add(r.radio.total.j());
+  if (r.ok) ++agg.sessions_ok;
+  agg.fault_retransmits += r.retransmits;
+  agg.fault_drops += r.fault_drops;
+  agg.fault_deferrals += r.fault_deferrals;
+  agg.direct_fetches += r.direct_fetches;
+  if (r.degraded) ++agg.degraded_sessions;
+}
+
+/// Fold the macro timeline's handoff outputs into the epoch aggregate
+/// (admitted sessions only — a shed client never held proxy work).
+void fold_handoffs(EpochAgg& agg, const MacroOut& out) {
+  for (std::size_t i = 0; i < out.handoffs.size(); ++i) {
+    if (out.handoffs[i] == 0 || out.shed[i] != 0) continue;
+    agg.recovery.add(out.recovery_sec[i]);
+    agg.recovery_sec_total += out.recovery_sec[i];
+    agg.recovery_sec_max = std::max(agg.recovery_sec_max, out.recovery_sec[i]);
+  }
+}
 
 /// Simulate one epoch end-to-end on the calling thread: macro timeline
 /// from the starting store snapshot, then every admitted micro-sim in
@@ -192,24 +182,23 @@ struct EpochAgg {
 /// completes — the RunResult is dropped before the next session runs.
 EpochAgg run_epoch(const std::vector<const web::WebPage*>& corpus,
                    const ClientColumns& cols, EpochPlan::Epoch epoch,
-                   const SharedObjectStore& start_store,
-                   const FleetConfig& config, const sim::FaultPlan* plan) {
+                   const ShardSnapshot& start, const FleetConfig& config) {
   EpochAgg agg(config.sketch);
   const std::size_t n = epoch.end - epoch.begin;
 
   core::Arena arena;
   core::ArenaScope scope(arena);
   sim::Scheduler sched;
-  ProxyCompute compute(sched, config.compute, plan);
-  SharedObjectStore store = start_store.fork_contents();
+  ShardedFleet fleet(sched, config, &start);
 
   MacroColumns mc;
   mc.arrival_sec =
       std::span<const double>(cols.arrival_sec).subspan(epoch.begin, n);
   mc.page_index =
       std::span<const std::uint32_t>(cols.page_index).subspan(epoch.begin, n);
+  mc.base = epoch.begin;  // global client identity survives partitioning
   MacroOut out(n);
-  run_macro(corpus, mc, sched, compute, store, out);
+  fleet.run(corpus, mc, out);
 
   for (std::size_t j = 0; j < n; ++j) {
     if (out.shed[j] != 0) {
@@ -223,17 +212,12 @@ EpochAgg run_epoch(const std::vector<const web::WebPage*>& corpus,
     cfg.testbed.fade_seed = cols.fade_seed[i];
     core::RunResult r = core::ExperimentRunner::run(
         config.scheme, *corpus[cols.page_index[i]], cfg);
-    double w = out.max_wait_sec[j];
-    agg.olt.add(r.olt.sec() + w);
-    agg.tlt.add(r.tlt.sec() + w);
-    agg.wait.add(w);
-    agg.energy.add(r.radio.total.j());
-    if (r.ok) ++agg.sessions_ok;
+    fold_session(agg, r, out.max_wait_sec[j]);
   }
+  fold_handoffs(agg, out);
 
-  agg.store = store.stats();
-  agg.compute = compute.stats();
-  agg.end_store = store.fork_contents();
+  agg.fleet = fleet.stats();
+  agg.end_snap = fleet.snapshot();
   // Per-session content (bundle-unpacked objects) pins parse-cache
   // entries that can never hit again; without this per-epoch sweep the
   // cache footprint grows linearly in K and the bounded-memory claim of
@@ -254,28 +238,55 @@ void fold_epoch(FleetMetrics& m, const EpochAgg& agg) {
   m.tlt_stats.merge(agg.tlt);
   m.wait_stats.merge(agg.wait);
   m.energy_stats.merge(agg.energy);
-  m.store.hits += agg.store.hits;
-  m.store.misses += agg.store.misses;
-  m.store.evictions += agg.store.evictions;
-  m.store.bytes_saved += agg.store.bytes_saved;
-  m.compute.completed += agg.compute.completed;
-  m.compute.fetch_busy_sec += agg.compute.fetch_busy_sec;
-  m.compute.parse_busy_sec += agg.compute.parse_busy_sec;
-  m.compute.bundle_busy_sec += agg.compute.bundle_busy_sec;
-  m.compute.last_finish =
-      std::max(m.compute.last_finish, agg.compute.last_finish);
+  m.recovery_stats.merge(agg.recovery);
+  fold_store(m.store, agg.fleet.l1_total());
+  for (std::size_t s = 0; s < agg.fleet.l1.size() && s < m.l1_shards.size();
+       ++s) {
+    fold_store(m.l1_shards[s], agg.fleet.l1[s]);
+  }
+  fold_store(m.l2, agg.fleet.l2);
+  fold_compute(m.compute, agg.fleet.compute);
+  m.crash_handoffs += agg.fleet.crash_handoffs;
+  m.crash_killed_tasks += agg.fleet.crash_killed_tasks;
+  m.redo_sec_total += agg.fleet.redo_sec_total;
+  m.redo_bytes_total += agg.fleet.redo_bytes_total;
+  m.recovery_sec_total += agg.recovery_sec_total;
+  m.recovery_sec_max = std::max(m.recovery_sec_max, agg.recovery_sec_max);
+  m.fault_retransmits += agg.fault_retransmits;
+  m.fault_drops += agg.fault_drops;
+  m.fault_deferrals += agg.fault_deferrals;
+  m.direct_fetches += agg.direct_fetches;
+  m.degraded_sessions += agg.degraded_sessions;
+}
+
+/// Stamp the resident-bytes gauges from the run's final store state.
+void stamp_resident_bytes(FleetMetrics& m, const ShardedFleetStats& last) {
+  m.store.bytes_stored = last.l1_total().bytes_stored;
+  for (std::size_t s = 0; s < last.l1.size() && s < m.l1_shards.size(); ++s) {
+    m.l1_shards[s].bytes_stored = last.l1[s].bytes_stored;
+  }
+  m.l2.bytes_stored = last.l2.bytes_stored;
+}
+
+bool snapshots_equal(const ShardSnapshot& a, const ShardSnapshot& b) {
+  if (a.l1.size() != b.l1.size()) return false;
+  for (std::size_t s = 0; s < a.l1.size(); ++s) {
+    if (!a.l1[s].contents_equal(b.l1[s])) return false;
+  }
+  return a.l2.contents_equal(b.l2);
 }
 
 FleetMetrics run_fleet_streaming(const std::vector<const web::WebPage*>& corpus,
                                  const FleetConfig& config) {
   ClientColumns cols = derive_client_columns(config, corpus.size());
   EpochPlan plan = plan_epochs(corpus, cols, config);
-  const sim::FaultPlan* fault_plan =
-      config.base.testbed.faults.enabled() ? &config.base.testbed.faults
-                                           : nullptr;
 
   FleetMetrics m;
   m.streaming = true;
+  m.shards = config.shards;
+  if (config.shards > 1) {
+    m.l1_shards.resize(static_cast<std::size_t>(config.shards));
+  }
   m.epochs = static_cast<int>(plan.epochs.size());
   m.epoch_parallel = plan.parallel && plan.epochs.size() > 1;
   m.epoch_degrade_reason = plan.degrade_reason;
@@ -283,72 +294,73 @@ FleetMetrics run_fleet_streaming(const std::vector<const web::WebPage*>& corpus,
   m.tlt_stats = core::StreamingStats(config.sketch);
   m.wait_stats = core::StreamingStats(config.sketch);
   m.energy_stats = core::StreamingStats(config.sketch);
+  m.recovery_stats = core::StreamingStats(config.sketch);
 
   if (m.epoch_parallel) {
-    // Serial pre-pass: the store's evolution is a pure function of the
-    // spec sequence here (no shedding possible — plan_epochs degrades
-    // otherwise), so replaying only the store requests yields every
-    // epoch's starting snapshot without simulating anything else.
-    std::vector<SharedObjectStore> starts;
+    // Serial pre-pass: the tiers' evolution is a pure function of the
+    // request sequence here (no shedding and no crash possible —
+    // plan_epochs degrades otherwise), so replaying only the routing and
+    // store requests yields every epoch's starting snapshot without
+    // simulating anything else.
+    std::vector<ShardSnapshot> starts;
     starts.reserve(plan.epochs.size());
-    SharedObjectStore replay(config.store_capacity);
+    ShardSnapshot replay = make_cold_snapshot(config);
     for (const EpochPlan::Epoch& epoch : plan.epochs) {
-      starts.push_back(replay.fork_contents());
-      for (std::size_t i = epoch.begin; i < epoch.end; ++i) {
-        for (const web::WebObject* object :
-             corpus[cols.page_index[i]]->objects()) {
-          replay.request(*object);
-        }
+      ShardSnapshot at_start;
+      at_start.l1.reserve(replay.l1.size());
+      for (const SharedObjectStore& l1 : replay.l1) {
+        at_start.l1.push_back(l1.fork_contents());
       }
+      at_start.l2 = replay.l2.fork_contents();
+      starts.push_back(std::move(at_start));
+      replay_store_requests(corpus, cols, epoch.begin, epoch.end, config,
+                            replay);
     }
 
     std::vector<EpochAgg> aggs(plan.epochs.size(), EpochAgg(config.sketch));
     core::ParallelRunner runner(config.jobs);
     runner.for_each_index(plan.epochs.size(), [&](std::size_t e) {
-      aggs[e] = run_epoch(corpus, cols, plan.epochs[e], starts[e], config,
-                          fault_plan);
+      aggs[e] = run_epoch(corpus, cols, plan.epochs[e], starts[e], config);
     });
 
     // The non-interaction argument is checked, not assumed: every epoch's
-    // pool must have drained strictly before the next epoch's first
-    // arrival, and its ending store must be the snapshot the next epoch
+    // pools must have drained strictly before the next epoch's first
+    // arrival, and its ending tiers must be the snapshot the next epoch
     // started from. A violation is a planner bug, not a data error.
     for (std::size_t e = 0; e + 1 < plan.epochs.size(); ++e) {
       double next_arrival = cols.arrival_sec[plan.epochs[e + 1].begin];
-      if (aggs[e].compute.completed != 0 &&
-          aggs[e].compute.last_finish.sec() >= next_arrival) {
+      if (aggs[e].fleet.compute.completed != 0 &&
+          aggs[e].fleet.compute.last_finish.sec() >= next_arrival) {
         throw std::logic_error(
             "fleet epoch invariant violated: epoch " + std::to_string(e) +
             " finished work at t=" +
-            std::to_string(aggs[e].compute.last_finish.sec()) +
+            std::to_string(aggs[e].fleet.compute.last_finish.sec()) +
             " >= next epoch arrival t=" + std::to_string(next_arrival));
       }
-      if (!aggs[e].end_store.contents_equal(starts[e + 1])) {
+      if (!snapshots_equal(aggs[e].end_snap, starts[e + 1])) {
         throw std::logic_error(
             "fleet epoch invariant violated: epoch " + std::to_string(e) +
-            " ending store differs from the next epoch's snapshot");
+            " ending store tiers differ from the next epoch's snapshot");
       }
     }
 
     for (const EpochAgg& agg : aggs) fold_epoch(m, agg);
-    if (!aggs.empty()) {
-      m.store.bytes_stored = aggs.back().store.bytes_stored;
-    }
+    if (!aggs.empty()) stamp_resident_bytes(m, aggs.back().fleet);
   } else {
-    // One serial timeline (admission bounds, blackouts, or a fleet too
-    // small to split): the macro phase is the exact-mode loop, but the
-    // micro phase still streams — sessions fan out in bounded blocks and
-    // fold in client order, so memory is O(block), not O(K).
+    // One serial timeline (admission bounds, blackouts, a shard crash, or
+    // a fleet too small to split): the macro phase is the exact-mode
+    // loop, but the micro phase still streams — sessions fan out in
+    // bounded blocks and fold in client order, so memory is O(block),
+    // not O(K).
     core::Arena macro_arena;
     core::ArenaScope macro_scope(macro_arena);
     sim::Scheduler sched;
-    ProxyCompute compute(sched, config.compute, fault_plan);
-    SharedObjectStore store(config.store_capacity);
+    ShardedFleet fleet(sched, config);
     MacroColumns mc;
     mc.arrival_sec = cols.arrival_sec;
     mc.page_index = cols.page_index;
     MacroOut out(cols.size());
-    run_macro(corpus, mc, sched, compute, store, out);
+    fleet.run(corpus, mc, out);
 
     EpochAgg agg(config.sketch);
     std::vector<std::size_t> admitted;
@@ -376,22 +388,16 @@ FleetMetrics run_fleet_streaming(const std::vector<const web::WebPage*>& corpus,
       std::vector<core::RunResult> results =
           core::run_experiments(tasks, config.jobs);
       for (std::size_t s = b; s < block_end; ++s) {
-        const core::RunResult& r = results[s - b];
-        double w = out.max_wait_sec[admitted[s]];
-        agg.olt.add(r.olt.sec() + w);
-        agg.tlt.add(r.tlt.sec() + w);
-        agg.wait.add(w);
-        agg.energy.add(r.radio.total.j());
-        if (r.ok) ++agg.sessions_ok;
+        fold_session(agg, results[s - b], out.max_wait_sec[admitted[s]]);
       }
       // Same bounded-memory discipline as run_epoch: the block's sessions
       // are done, so their transient parse-cache pins are dead weight.
       web::ParseCache::instance().sweep_transient();
     }
-    agg.store = store.stats();
-    agg.compute = compute.stats();
+    fold_handoffs(agg, out);
+    agg.fleet = fleet.stats();
     fold_epoch(m, agg);
-    m.store.bytes_stored = agg.store.bytes_stored;
+    stamp_resident_bytes(m, agg.fleet);
   }
 
   m.olt_p50 = m.olt_stats.quantile(50.0);
@@ -440,21 +446,18 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
     }
   }
 
-  // ---- Macro phase: one shared timeline for arrivals, the store, and
-  // proxy compute. Serial by construction; depends only on the corpus
-  // pages and the specs, never on micro-run outputs. The macro scheduler
-  // heap bumps out of its own arena; micro-runs install per-run arenas of
-  // their own inside ExperimentRunner::run (worker threads, nested fine).
-  // Explicit specs may carry arbitrary client ids/weights, so those two
-  // columns are materialized from the AoS records here.
+  // ---- Macro phase: one shared timeline for arrivals, the routing
+  // front, the store tiers, and every shard's compute pool. Serial by
+  // construction; depends only on the corpus pages and the specs, never
+  // on micro-run outputs. The macro scheduler heap bumps out of its own
+  // arena; micro-runs install per-run arenas of their own inside
+  // ExperimentRunner::run (worker threads, nested fine). Explicit specs
+  // may carry arbitrary client ids/weights, so those two columns are
+  // materialized from the AoS records here.
   core::Arena macro_arena;
   core::ArenaScope macro_scope(macro_arena);
   sim::Scheduler sched;
-  const sim::FaultPlan* fault_plan =
-      config.base.testbed.faults.enabled() ? &config.base.testbed.faults
-                                           : nullptr;
-  ProxyCompute compute(sched, config.compute, fault_plan);
-  SharedObjectStore store(config.store_capacity);
+  ShardedFleet fleet(sched, config);
 
   std::vector<double> arrival_sec;
   std::vector<std::uint32_t> page_index;
@@ -470,9 +473,9 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
     client.push_back(spec.client);
     weight.push_back(spec.weight);
   }
-  MacroColumns mc{arrival_sec, page_index, client, weight};
+  MacroColumns mc{arrival_sec, page_index, client, weight, 0};
   MacroOut out(specs.size());
-  run_macro(corpus, mc, sched, compute, store, out);
+  fleet.run(corpus, mc, out);
 
   // ---- Micro phase: one independent session simulation per admitted
   // client, fanned out across the parallel runner (slot-indexed, so any
@@ -491,6 +494,7 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
 
   // ---- Merge.
   FleetMetrics metrics;
+  metrics.shards = config.shards;
   metrics.clients.resize(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     FleetClientResult& r = metrics.clients[i];
@@ -512,9 +516,29 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
     // is exactly the time this client's work sat waiting at the proxy.
     r.olt = r.session.olt + r.queue_wait;
     r.tlt = r.session.tlt + r.queue_wait;
+    // Crash-handoff accounting, mirrored onto the session result so the
+    // per-session surface carries its own recovery story (ISSUE 8).
+    r.handoffs = out.handoffs[i];
+    r.recovery = util::Duration::seconds(out.recovery_sec[i]);
+    r.redo_sec = out.redo_sec[i];
+    r.redo_bytes = out.redo_bytes[i];
+    r.session.shard_handoffs = out.handoffs[i];
+    r.session.handoff_recovery = r.recovery;
+    r.session.redo_service_sec = r.redo_sec;
+    r.session.redo_bytes = r.redo_bytes;
+    if (r.handoffs > 0) {
+      metrics.recovery_sec_total += out.recovery_sec[i];
+      metrics.recovery_sec_max =
+          std::max(metrics.recovery_sec_max, out.recovery_sec[i]);
+    }
     olts.push_back(r.olt.sec());
     waits.push_back(r.queue_wait.sec());
     metrics.energy_j_total += r.session.radio.total.j();
+    metrics.fault_retransmits += r.session.retransmits;
+    metrics.fault_drops += r.session.fault_drops;
+    metrics.fault_deferrals += r.session.fault_deferrals;
+    metrics.direct_fetches += r.session.direct_fetches;
+    if (r.session.degraded) ++metrics.degraded_sessions;
   }
   metrics.admitted = static_cast<int>(admitted.size());
   metrics.shed = static_cast<int>(specs.size() - admitted.size());
@@ -526,8 +550,15 @@ FleetMetrics run_fleet(const std::vector<const web::WebPage*>& corpus,
     metrics.wait_p95 = util::percentile(waits, 95.0);
     metrics.wait_p99 = util::percentile(waits, 99.0);
   }
-  metrics.store = store.stats();
-  metrics.compute = compute.stats();
+  ShardedFleetStats st = fleet.stats();
+  metrics.store = st.l1_total();
+  if (config.shards > 1) metrics.l1_shards = st.l1;
+  metrics.l2 = st.l2;
+  metrics.compute = st.compute;
+  metrics.crash_handoffs = st.crash_handoffs;
+  metrics.crash_killed_tasks = st.crash_killed_tasks;
+  metrics.redo_sec_total = st.redo_sec_total;
+  metrics.redo_bytes_total = st.redo_bytes_total;
   metrics.proxy_busy_sec = metrics.compute.busy_sec();
   metrics.fetch_parse_sec = metrics.compute.fetch_parse_sec();
   return metrics;

@@ -79,6 +79,27 @@ struct FleetConfig {
   /// bitwise-identical fleet metrics.
   int jobs = 1;
 
+  /// Sharded proxy fleet (ISSUE 8, tentpole). 1 keeps §10's single-proxy
+  /// model bit-for-bit; N > 1 stands up N independent proxies — each with
+  /// its own L1 SharedObjectStore (capacity store_capacity) and its own
+  /// ProxyCompute pool (this `compute` config per shard) — behind a
+  /// rendezvous-hash front (shard_router.hpp) keyed on the client id.
+  int shards = 1;
+  /// Rendezvous salt for the routing front (part of the run's identity:
+  /// same salt + same fleet = same routing on every host and --jobs).
+  std::uint64_t route_salt = 0x5ca1ab1e2014ULL;
+  /// Shared L2 tier capacity (0 = unbounded); consulted only when
+  /// shards > 1. An L1 miss that hits the L2 costs one kTransfer task
+  /// (compute.costs.transfer_*) instead of origin fetch + parse.
+  util::Bytes l2_capacity = 0;
+  /// Fleet-layer fault plan: proxy_crash_at / proxy_restart_after name
+  /// the seeded crash whose victim *shard* dies mid-run (queued and
+  /// in-flight sessions hand off to survivors; restart rejoins with a
+  /// cold L1). Distinct from base.testbed.faults, which reaches the
+  /// per-session testbeds and every pool's blackout windows. A crash
+  /// requires shards > 1 (validate()).
+  sim::FaultPlan shard_faults;
+
   /// Streaming aggregation (ISSUE 7): fold every admitted session into
   /// sketches and running sums as it completes instead of materializing
   /// per-client results — FleetMetrics.clients stays empty, memory stays
@@ -130,6 +151,13 @@ struct FleetClientResult {
   /// Fleet-adjusted load metrics: session result + queue_wait.
   util::Duration olt = util::Duration::zero();
   util::Duration tlt = util::Duration::zero();
+  /// Crash-handoff accounting (ISSUE 8; zero unless this client was
+  /// migrated off a crashed shard). The same numbers are stamped onto
+  /// `session` (shard_handoffs / handoff_recovery / redo_*).
+  int handoffs = 0;
+  util::Duration recovery = util::Duration::zero();
+  double redo_sec = 0.0;
+  util::Bytes redo_bytes = 0;
   /// The per-session micro-simulation result (default-constructed when
   /// shed).
   core::RunResult session;
@@ -167,6 +195,32 @@ struct FleetMetrics {
   SharedObjectStore::Stats store;
   ProxyCompute::Stats compute;
 
+  // ---- Sharded-fleet surface (ISSUE 8; `shards` is 1 and the rest
+  // zero/empty for single-proxy fleets). `store` above aggregates the L1
+  // tiers (plain sums over shards) in sharded runs.
+  int shards = 1;
+  /// Per-shard L1 stats, index = shard id (empty when shards == 1).
+  std::vector<SharedObjectStore::Stats> l1_shards;
+  /// Shared L2 tier stats (all-zero when shards == 1).
+  SharedObjectStore::Stats l2;
+  /// Crash-driven handoff accounting — exact integer/double sums in both
+  /// exact and streaming modes.
+  std::uint64_t crash_handoffs = 0;      // session migrations executed
+  std::uint64_t crash_killed_tasks = 0;  // tasks destroyed by the crash
+  double redo_sec_total = 0.0;           // proxy service re-executed, s
+  util::Bytes redo_bytes_total = 0;      // bytes the tier moved twice
+  double recovery_sec_total = 0.0;       // sum over migrated sessions
+  double recovery_sec_max = 0.0;         // slowest migrated session
+
+  // ---- Fleet fault/degradation counters (ISSUE 8 satellite 1): exact
+  // integer sums over admitted sessions' RunResults, folded identically
+  // in exact and streaming modes (sketches never replace these).
+  std::uint64_t fault_retransmits = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_deferrals = 0;
+  std::uint64_t direct_fetches = 0;
+  std::uint64_t degraded_sessions = 0;
+
   // ---- Streaming-mode surface (FleetConfig::streaming; zeroed in exact
   // mode). The percentile fields above are filled from these sketches
   // (nearest-rank, within LogHistogram::relative_error_bound()); clients
@@ -183,6 +237,9 @@ struct FleetMetrics {
   core::StreamingStats tlt_stats;     // fleet-adjusted TLT, seconds
   core::StreamingStats wait_stats;    // per-client worst queue wait, s
   core::StreamingStats energy_stats;  // per-session radio energy, joules
+  /// Per-migrated-session recovery time, seconds (empty unless a sharded
+  /// streaming run crashed — which also degrades the plan to serial).
+  core::StreamingStats recovery_stats;
 };
 
 /// Derive the K client specs from the config: arrival times from the

@@ -11,6 +11,7 @@ std::string_view to_string(TaskKind k) {
     case TaskKind::kFetch: return "fetch";
     case TaskKind::kParse: return "parse";
     case TaskKind::kBundle: return "bundle";
+    case TaskKind::kTransfer: return "transfer";
   }
   return "?";
 }
@@ -30,6 +31,11 @@ Duration TaskCosts::service_time(TaskKind kind, Bytes bytes) const {
       return bundle_base + (bundle_bytes_per_sec > 0.0
                                 ? Duration::seconds(b / bundle_bytes_per_sec)
                                 : Duration::zero());
+    case TaskKind::kTransfer:
+      return transfer_base +
+             (transfer_bytes_per_sec > 0.0
+                  ? Duration::seconds(b / transfer_bytes_per_sec)
+                  : Duration::zero());
   }
   return Duration::zero();
 }
@@ -42,6 +48,8 @@ TaskCosts TaskCosts::idle() {
   costs.parse_bytes_per_sec = 0.0;
   costs.bundle_base = Duration::zero();
   costs.bundle_bytes_per_sec = 0.0;
+  costs.transfer_base = Duration::zero();
+  costs.transfer_bytes_per_sec = 0.0;
   return costs;
 }
 
@@ -62,12 +70,14 @@ void ProxyComputeConfig::validate() const {
   }
   if (costs.fetch_base < Duration::zero() ||
       costs.parse_base < Duration::zero() ||
-      costs.bundle_base < Duration::zero()) {
+      costs.bundle_base < Duration::zero() ||
+      costs.transfer_base < Duration::zero()) {
     throw std::invalid_argument(
         "ProxyComputeConfig: base service costs must be >= 0");
   }
   if (costs.fetch_bytes_per_sec < 0.0 || costs.parse_bytes_per_sec < 0.0 ||
-      costs.bundle_bytes_per_sec < 0.0) {
+      costs.bundle_bytes_per_sec < 0.0 ||
+      costs.transfer_bytes_per_sec < 0.0) {
     throw std::invalid_argument(
         "ProxyComputeConfig: byte rates must be >= 0 (0 disables the "
         "byte-proportional term)");
@@ -86,6 +96,7 @@ ProxyCompute::ProxyCompute(sim::Scheduler& sched, ProxyComputeConfig config,
 }
 
 bool ProxyCompute::can_accept(std::size_t tasks, Duration batch_cost) const {
+  if (dead_) return false;  // a crashed shard serves nothing
   if (config_.max_queue != 0 &&
       queue_.size() + tasks > config_.max_queue) {
     return false;
@@ -163,8 +174,31 @@ TimePoint ProxyCompute::defer_past_blackouts(TimePoint start) const {
   return start;
 }
 
+std::size_t ProxyCompute::crash() {
+  std::size_t in_flight =
+      static_cast<std::size_t>(config_.workers - idle_workers_);
+  std::size_t killed = queue_.size() + in_flight;
+  // Queued work dies here; in-flight work dies at its completion event,
+  // which voids itself via the generation bump below.
+  queue_.clear();
+  backlog_ = Duration::zero();
+  dead_ = true;
+  ++generation_;
+  idle_workers_ = 0;
+  stats_.crash_killed += killed;
+  return killed;
+}
+
+void ProxyCompute::restart() {
+  dead_ = false;
+  // Every pre-crash in-flight task was voided, so the full worker pool is
+  // idle again; anything queued while dead dispatches now.
+  idle_workers_ = config_.workers;
+  dispatch();
+}
+
 void ProxyCompute::dispatch() {
-  while (idle_workers_ > 0 && !queue_.empty()) {
+  while (!dead_ && idle_workers_ > 0 && !queue_.empty()) {
     std::size_t i = pick_next();
     Task task = std::move(queue_[i]);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -176,15 +210,21 @@ void ProxyCompute::dispatch() {
     double cost_sec = task.cost.sec();
     TaskKind kind = task.kind;
     // The completion event carries the task by value; the worker slot is
-    // freed there, which may dispatch the next waiter.
+    // freed there, which may dispatch the next waiter. The captured
+    // generation voids the event if the pool crashed after service began:
+    // the work died with the process, so it contributes neither stats nor
+    // its Done callback (crash() already reset the worker slots).
     sched_.schedule_at(finish, [this, finish, waited, cost_sec, kind,
+                                gen = generation_,
                                 done = std::move(task.done)]() mutable {
+      if (gen != generation_) return;
       ++stats_.completed;
       stats_.last_finish = std::max(stats_.last_finish, finish);
       switch (kind) {
         case TaskKind::kFetch: stats_.fetch_busy_sec += cost_sec; break;
         case TaskKind::kParse: stats_.parse_busy_sec += cost_sec; break;
         case TaskKind::kBundle: stats_.bundle_busy_sec += cost_sec; break;
+        case TaskKind::kTransfer: stats_.transfer_busy_sec += cost_sec; break;
       }
       waits_.add(waited.sec());
       ++idle_workers_;

@@ -38,7 +38,10 @@ using util::Bytes;
 using util::Duration;
 using util::TimePoint;
 
-enum class TaskKind : std::uint8_t { kFetch, kParse, kBundle };
+/// kTransfer is the sharded fleet's L2 tier pull (ISSUE 8): a sibling
+/// shard already holds the artifact, so the proxy moves bytes over the
+/// backplane instead of re-fetching (and re-parsing) from origin.
+enum class TaskKind : std::uint8_t { kFetch, kParse, kBundle, kTransfer };
 [[nodiscard]] std::string_view to_string(TaskKind k);
 
 /// Service time = base(kind) + bytes / rate(kind). Rates of 0 mean the
@@ -50,6 +53,11 @@ struct TaskCosts {
   double parse_bytes_per_sec = 50e6;  // server-class scan rate
   Duration bundle_base = Duration::millis(1);
   double bundle_bytes_per_sec = 400e6;  // memcpy + MHTML framing
+  /// L2 pull: cheaper than origin fetch+parse, dearer than an L1 hit
+  /// (which is free). Defaults to ~4 ms/MiB of backplane against the
+  /// 40 ms/MiB origin egress above; bench --l2-cost retunes it.
+  Duration transfer_base = Duration::micros(200);
+  double transfer_bytes_per_sec = 256e6;  // intra-tier backplane
 
   [[nodiscard]] Duration service_time(TaskKind kind, Bytes bytes) const;
 
@@ -114,6 +122,21 @@ class ProxyCompute {
   void submit(int client, double weight, TaskKind kind, Bytes bytes,
               Done done);
 
+  /// Kill the pool at the current scheduler instant (a shard crash,
+  /// ISSUE 8): every queued task is dropped and every in-service task is
+  /// voided — its completion event still fires but contributes nothing
+  /// (no stats, no Done callback; the work died with the process).
+  /// Dispatch stays frozen and can_accept() refuses everything until
+  /// restart(). Returns the number of tasks killed (queued + in-flight),
+  /// also accumulated in Stats::crash_killed.
+  std::size_t crash();
+
+  /// Rejoin after crash(): all worker slots come back idle and dispatch
+  /// resumes. Tasks submitted while dead were queued and now run.
+  void restart();
+
+  [[nodiscard]] bool dead() const { return dead_; }
+
   struct Stats {
     std::uint64_t completed = 0;
     /// Batches refused by can_accept are counted by the caller; this
@@ -121,13 +144,17 @@ class ProxyCompute {
     double fetch_busy_sec = 0.0;
     double parse_busy_sec = 0.0;
     double bundle_busy_sec = 0.0;
+    double transfer_busy_sec = 0.0;
+    /// Tasks destroyed by crash() — queued drops plus voided in-flight.
+    std::uint64_t crash_killed = 0;
     /// Completion time of the last task to finish service (origin when
     /// nothing completed). Epoch-parallel fleet execution checks this
     /// against the next epoch's first arrival: the pool must have gone
     /// idle strictly before it (DESIGN.md §12).
     TimePoint last_finish;
     [[nodiscard]] double busy_sec() const {
-      return fetch_busy_sec + parse_busy_sec + bundle_busy_sec;
+      return fetch_busy_sec + parse_busy_sec + bundle_busy_sec +
+             transfer_busy_sec;
     }
     /// The cache-amplification metric: origin-facing work actually
     /// executed (fetch + parse), excluding per-session bundling.
@@ -164,6 +191,11 @@ class ProxyCompute {
 
   std::uint64_t next_seq_ = 0;
   int idle_workers_ = 0;
+  /// Crash state: while dead_, nothing dispatches. generation_ bumps on
+  /// every crash; completion events carry the generation they started
+  /// under and void themselves when it no longer matches.
+  bool dead_ = false;
+  std::uint64_t generation_ = 0;
   /// Waiting tasks (not in service). Small fleets keep this short; the
   /// linear WFQ scan is deterministic and cheap at model scale.
   std::vector<Task> queue_;

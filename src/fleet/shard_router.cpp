@@ -1,0 +1,72 @@
+#include "fleet/shard_router.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace parcel::fleet {
+
+ShardRouter::ShardRouter(int shards, std::uint64_t salt) : salt_(salt) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardRouter: shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  alive_.assign(static_cast<std::size_t>(shards), 1);
+}
+
+int ShardRouter::alive_count() const {
+  int n = 0;
+  for (std::uint8_t a : alive_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
+bool ShardRouter::alive(int shard) const {
+  if (shard < 0 || shard >= shards()) {
+    throw std::invalid_argument("ShardRouter: shard index out of range: " +
+                                std::to_string(shard));
+  }
+  return alive_[static_cast<std::size_t>(shard)] != 0;
+}
+
+void ShardRouter::set_alive(int shard, bool alive) {
+  if (shard < 0 || shard >= shards()) {
+    throw std::invalid_argument("ShardRouter: shard index out of range: " +
+                                std::to_string(shard));
+  }
+  alive_[static_cast<std::size_t>(shard)] =
+      static_cast<std::uint8_t>(alive ? 1 : 0);
+}
+
+std::uint64_t ShardRouter::mix(std::uint64_t x) {
+  // SplitMix64 finalizer (Steele et al.): full-avalanche, branch-free,
+  // identical on every host — the entire basis of the routing function.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ShardRouter::client_key(int client) {
+  return mix(0xc11e47ULL ^ static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(client)));
+}
+
+int ShardRouter::route(std::uint64_t key) const {
+  int best = -1;
+  std::uint64_t best_score = 0;
+  for (std::size_t s = 0; s < alive_.size(); ++s) {
+    if (alive_[s] == 0) continue;
+    std::uint64_t score = mix(key ^ mix(salt_ + s));
+    // Strict > keeps the lowest index on the (astronomically unlikely)
+    // score tie, a fixed deterministic rule.
+    if (best < 0 || score > best_score) {
+      best = static_cast<int>(s);
+      best_score = score;
+    }
+  }
+  if (best < 0) {
+    throw std::logic_error("ShardRouter: no live shard to route to");
+  }
+  return best;
+}
+
+}  // namespace parcel::fleet
