@@ -161,6 +161,7 @@ class ArenaResource final : public std::pmr::memory_resource {
 
 namespace detail {
 inline std::atomic<bool>& arena_flag() {
+  // parcel-lint: allow(nondet-transitive) PARCEL_ARENA kill switch read once at startup; arena on/off is byte-identical by test, so the env read cannot reach results
   static std::atomic<bool> flag{util::env_flag("PARCEL_ARENA", true)};
   return flag;
 }

@@ -2,10 +2,37 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace parcel::core {
+
+namespace {
+
+// First-error capture shared by the worker pool.  Workers race into
+// capture(); only the first exception is kept, and it is rethrown on the
+// calling thread once the pool has joined.  The annotated mutex makes
+// the discipline checkable under clang -Wthread-safety.
+class ErrorSlot {
+ public:
+  void capture() {
+    util::MutexLock lock(mu_);
+    if (!first_) first_ = std::current_exception();
+  }
+
+  void rethrow_if_set() {
+    util::MutexLock lock(mu_);
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  util::Mutex mu_;
+  std::exception_ptr first_ PARCEL_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 int default_jobs() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -28,8 +55,7 @@ void ParallelRunner::for_each_index(
   // Work queue: an atomic cursor over [0, n). Simulations vary widely in
   // cost (page size, scheme), so dynamic stealing beats static striping.
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  ErrorSlot error;
 
   auto worker = [&] {
     for (;;) {
@@ -38,8 +64,7 @@ void ParallelRunner::for_each_index(
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error.capture();
       }
     }
   };
@@ -50,7 +75,7 @@ void ParallelRunner::for_each_index(
   worker();  // the calling thread pulls its weight too
   for (std::thread& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 std::vector<RunResult> run_experiments(const std::vector<ExperimentTask>& tasks,

@@ -21,6 +21,11 @@
 // the lowest virtual finish time with the sequence number as tie-break.
 // Blackout windows from a sim::FaultPlan (the proxy shares the weather
 // with the rest of the run) defer service starts to the window's end.
+//
+// Lock discipline (DESIGN.md §14.3): none — the pool model mutates only
+// on the single macro-simulation timeline. Future mutable state shared
+// with worker threads must use util::Mutex + PARCEL_GUARDED_BY
+// (src/util/thread_annotations.hpp); parcel-lint enforces the annotation.
 #pragma once
 
 #include <cstdint>

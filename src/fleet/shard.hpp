@@ -30,6 +30,12 @@
 // not its L2 publications; redo accounting counts the service seconds
 // re-executed and the bytes the tier had to move a second time
 // (origin refetch + backplane transfer) for migrated sessions.
+//
+// Lock discipline (DESIGN.md §14.3): none — shards, router, and both
+// store tiers mutate only on the single macro-simulation timeline, and
+// keeping them mutex-free is what makes crash/handoff replay exact. Any
+// future cross-thread state must use util::Mutex + PARCEL_GUARDED_BY
+// (src/util/thread_annotations.hpp); parcel-lint enforces the annotation.
 #pragma once
 
 #include <cstdint>

@@ -21,9 +21,15 @@
 // other part of the fleet model — is a pure function of the request
 // sequence and replays bit-for-bit.
 //
-// Thread-safety: none. The store belongs to the fleet macro-simulation,
-// which runs on a single sim::Scheduler timeline; the per-client
-// micro-simulations fanned out by core::ParallelRunner never touch it.
+// Lock discipline (DESIGN.md §14.3): none, by contract. The store
+// belongs to the fleet macro-simulation, which runs on a single
+// sim::Scheduler timeline; the per-client micro-simulations fanned out
+// by core::ParallelRunner never touch it. There is deliberately no mutex
+// here — adding one would hide a layering mistake (macro-state reached
+// from a worker thread) instead of crashing loudly under TSan. If fleet
+// state ever does need a lock, use util::Mutex and annotate the guarded
+// members with PARCEL_GUARDED_BY (src/util/thread_annotations.hpp);
+// parcel-lint's mutex-unannotated rule enforces this for src/fleet.
 #pragma once
 
 #include <cstdint>

@@ -56,7 +56,7 @@ std::shared_ptr<const T> ParseCache::lookup(
   std::shared_ptr<Slot<T>> slot;
   bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto& slots = (shard.*table).slots;
     auto it = slots.find(key);
     if (it == slots.end()) {
@@ -74,7 +74,7 @@ std::shared_ptr<const T> ParseCache::lookup(
   // lock, so the store must happen under that lock too.
   std::call_once(slot->once, [&] {
     auto artifact = std::make_shared<const T>(scan(text));
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     slot->artifact = std::move(artifact);
   });
   if (inserted) {
@@ -125,7 +125,7 @@ void ParseCache::reset_stats() {
 
 void ParseCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.html.slots.clear();
     shard.css.slots.clear();
     shard.js.slots.clear();
@@ -141,7 +141,7 @@ std::size_t ParseCache::sweep_transient() {
   // cannot deadlock), which freezes the tables: a group whose pin count
   // is fully accounted for by its member entries has no outside owner,
   // and no new outside reference can appear without an existing one.
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<util::Mutex>> locks;
   locks.reserve(kShards);
   for (Shard& shard : shards_) {
     locks.emplace_back(shard.mutex);
@@ -202,7 +202,7 @@ std::size_t ParseCache::sweep_transient() {
 std::size_t ParseCache::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     n += shard.html.slots.size() + shard.css.slots.size() +
          shard.js.slots.size();
   }

@@ -1,0 +1,4 @@
+#include "dupunit/pair.hpp"
+
+// Clean implementation file; the unit's only finding lives in the header.
+int pair_sum(const Pair& p) { return p.first + p.second; }

@@ -1,0 +1,11 @@
+#pragma once
+// Companion-header dedupe regression: this header carries exactly one
+// violation.  Scanning the directory must report it exactly once — the
+// header is folded into pair.cpp's lint unit, never linted standalone on
+// top of that.
+using namespace std;
+
+struct Pair {
+  int first = 0;
+  int second = 0;
+};

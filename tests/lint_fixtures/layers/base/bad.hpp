@@ -1,0 +1,5 @@
+#pragma once
+// Upward include: base reaching into upper inverts the DAG.
+#include "upper/mid.hpp"
+
+inline int bad_value() { return mid_value() + 1; }

@@ -1,0 +1,3 @@
+#pragma once
+// Lowest layer: includes nothing.
+inline int leaf_value() { return 1; }

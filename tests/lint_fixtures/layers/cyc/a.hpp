@@ -1,0 +1,5 @@
+#pragma once
+// Include cycle: a -> b -> a.  Same layer, still a violation.
+#include "cyc/b.hpp"
+
+inline int cyc_a() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "cyc/a.hpp"
+
+inline int cyc_b() { return 2; }

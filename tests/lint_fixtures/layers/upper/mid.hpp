@@ -1,0 +1,5 @@
+#pragma once
+// Sanctioned downward include: upper -> base is in the allow-dep list.
+#include "base/leaf.hpp"
+
+inline int mid_value() { return leaf_value() + 1; }

@@ -1,0 +1,11 @@
+#pragma once
+// The annotated twin: the mutex is a util::Mutex and the state it
+// protects names it via PARCEL_GUARDED_BY, so the rule is satisfied.
+#include "util/mutex.hpp"
+
+struct Counter {
+  void bump();
+
+  util::Mutex mu_;
+  int value PARCEL_GUARDED_BY(mu_) = 0;
+};

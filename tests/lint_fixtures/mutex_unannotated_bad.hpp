@@ -1,0 +1,12 @@
+#pragma once
+// A mutex member with no PARCEL_GUARDED_BY user anywhere in the file:
+// the lock guards nothing on record, which is exactly the erosion the
+// mutex-unannotated rule exists to stop.
+#include <mutex>
+
+struct Counter {
+  void bump();
+
+  int value = 0;
+  std::mutex mu_;
+};

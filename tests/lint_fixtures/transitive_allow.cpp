@@ -1,0 +1,11 @@
+// Severed edge: wall_ms() is a real nondet-time source (still flagged
+// directly), but the caller-ward edge carries an allow with a reason, so
+// the taint stops there — no nondet-transitive findings anywhere.
+long wall_ms() { return time(nullptr) * 1000; }
+
+long uptime() {
+  // parcel-lint: allow(nondet-transitive) harness-only timing; the value is logged, never folded into results
+  return wall_ms() / 1000;
+}
+
+long report() { return uptime() + 1; }

@@ -1,0 +1,9 @@
+// Two-hop determinism taint: report() -> uptime() -> wall_ms() -> time().
+// Expected: one direct nondet-time (the time() call) and two
+// nondet-transitive findings (the call to wall_ms inside uptime, and the
+// call to uptime inside report), each carrying the full chain.
+long wall_ms() { return time(nullptr) * 1000; }
+
+long uptime() { return wall_ms() / 1000; }
+
+long report() { return uptime() + 1; }

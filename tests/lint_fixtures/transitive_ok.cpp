@@ -1,0 +1,7 @@
+// Clean call chain: helpers compute pure functions of their inputs, so
+// nothing taints and nothing is flagged.
+long scale(long v) { return v * 1000; }
+
+long total(long a, long b) { return scale(a) + scale(b); }
+
+long report_total() { return total(1, 2); }

@@ -1,0 +1,6 @@
+// Cross-TU taint, defining side: seed_entropy() reads std::random_device
+// (direct nondet-random finding here; taint root for every caller).
+unsigned seed_entropy() {
+  std::random_device dev;
+  return dev();
+}

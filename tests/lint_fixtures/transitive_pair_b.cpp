@@ -1,0 +1,4 @@
+// Cross-TU taint, calling side: this file has no banned construct of its
+// own, but calling seed_entropy() (defined in transitive_pair_a.cpp)
+// makes the call site a nondet-transitive finding.
+unsigned pick_seed() { return seed_entropy() | 1u; }

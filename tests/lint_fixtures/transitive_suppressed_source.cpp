@@ -1,0 +1,8 @@
+// A direct finding suppressed inline *with a reason* does not taint: the
+// suppression audits containment, so callers of wall_ms() stay clean.
+long wall_ms() {
+  // parcel-lint: allow(nondet-time) harness wall time, reported out-of-band and never folded into results
+  return time(nullptr) * 1000;
+}
+
+long report() { return wall_ms() / 1000; }

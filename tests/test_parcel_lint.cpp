@@ -287,6 +287,215 @@ TEST(ParcelLintCli, CompanionHeaderJoinedWhenScanningDirectory) {
   EXPECT_NE(text.find("unordered_hdr.cpp:7"), std::string::npos) << text;
 }
 
+// --- whole-program: nondet-transitive --------------------------------------
+
+std::size_t count_of(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Lex the given (path, source) pairs, build one program index, and run
+// every whole-program pass over it.
+FileReport program_report(
+    const std::vector<std::pair<std::string, std::string>>& srcs,
+    const Config& cfg) {
+  std::vector<LexOutput> lx;
+  lx.reserve(srcs.size());
+  for (const auto& [path, text] : srcs) lx.push_back(lex(text));
+  std::vector<ProgramFile> files;
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    files.push_back({srcs[i].first, &lx[i], true, nullptr});
+  }
+  const ProgramIndex idx = build_program_index(files);
+  std::set<std::string> known;
+  for (const auto& [path, text] : srcs) known.insert(path);
+  FileReport rep;
+  check_nondet_transitive(idx, cfg, rep);
+  check_mutex_annotations(idx, cfg, rep);
+  check_layers(idx, cfg, known, rep);
+  return rep;
+}
+
+TEST(ParcelLintProgram, TwoHopChainFlagsEveryCallSiteWithChain) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"chain.cpp", slurp(kFixtures + "/transitive_chain.cpp")}}, cfg);
+  ASSERT_EQ(rules_of(rep).count("nondet-transitive"), 2u);
+  // uptime's call into wall_ms, then report's call into uptime — each
+  // diagnostic carries the chain down to the time() source.
+  EXPECT_NE(rep.findings[0].message.find("wall_ms -> 'time' [nondet-time]"),
+            std::string::npos)
+      << rep.findings[0].message;
+  EXPECT_NE(rep.findings[1].message.find(
+                "uptime -> wall_ms -> 'time' [nondet-time]"),
+            std::string::npos)
+      << rep.findings[1].message;
+}
+
+TEST(ParcelLintProgram, AllowWithReasonSeversTheEdge) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"sev.cpp", slurp(kFixtures + "/transitive_allow.cpp")}}, cfg);
+  // The edge into wall_ms is severed, so neither uptime nor report is
+  // tainted; the direct nondet-time finding belongs to the per-file pass.
+  EXPECT_EQ(rules_of(rep).count("nondet-transitive"), 0u);
+}
+
+TEST(ParcelLintProgram, AllowWithoutReasonDoesNotSever) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"nr.cpp", slurp(kFixtures + "/transitive_allow_no_reason.cpp")}}, cfg);
+  EXPECT_EQ(rules_of(rep).count("nondet-transitive"), 1u);
+}
+
+TEST(ParcelLintProgram, SuppressedSourceDoesNotTaint) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"sup.cpp", slurp(kFixtures + "/transitive_suppressed_source.cpp")}},
+      cfg);
+  EXPECT_TRUE(rep.findings.empty()) << rep.findings[0].message;
+}
+
+TEST(ParcelLintProgram, TaintCrossesTranslationUnits) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"a.cpp", slurp(kFixtures + "/transitive_pair_a.cpp")},
+       {"b.cpp", slurp(kFixtures + "/transitive_pair_b.cpp")}},
+      cfg);
+  ASSERT_EQ(rules_of(rep).count("nondet-transitive"), 1u);
+  EXPECT_EQ(rep.findings[0].path, "b.cpp");
+  EXPECT_NE(rep.findings[0].message.find("seed_entropy"), std::string::npos);
+}
+
+TEST(ParcelLintProgram, TransitiveRespectsConfigScope) {
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(parse_config("scope nondet-transitive = src\n", cfg, error))
+      << error;
+  FileReport rep = program_report(
+      {{"a.cpp", slurp(kFixtures + "/transitive_pair_a.cpp")},
+       {"b.cpp", slurp(kFixtures + "/transitive_pair_b.cpp")}},
+      cfg);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+// --- whole-program: mutex-unannotated --------------------------------------
+
+TEST(ParcelLintProgram, MutexMemberWithoutGuardedByIsFlagged) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"m.hpp", slurp(kFixtures + "/mutex_unannotated_bad.hpp")}}, cfg);
+  ASSERT_EQ(rules_of(rep).count("mutex-unannotated"), 1u);
+  EXPECT_NE(rep.findings[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(ParcelLintProgram, AnnotatedMutexIsClean) {
+  Config cfg;
+  FileReport rep = program_report(
+      {{"m.hpp", slurp(kFixtures + "/mutex_annotated_ok.hpp")}}, cfg);
+  EXPECT_TRUE(rep.findings.empty()) << rep.findings[0].message;
+}
+
+// --- layering DAG ----------------------------------------------------------
+
+TEST(ParcelLint, LayerConfigGrammar) {
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(parse_config(
+      "layer base = src/util src/core/arena.hpp\n"
+      "layer core = src/core\n"
+      "layer app  = src/app\n"
+      "allow-dep core -> base\n"
+      "allow-dep app -> core\n",
+      cfg, error))
+      << error;
+  // Longest prefix wins: arena.hpp is carved out of core into base.
+  EXPECT_EQ(cfg.layer_of("src/core/arena.hpp"), "base");
+  EXPECT_EQ(cfg.layer_of("src/core/run.cpp"), "core");
+  EXPECT_EQ(cfg.layer_of("src/util/env.hpp"), "base");
+  EXPECT_EQ(cfg.layer_of("tools/x.cpp"), "");
+  // Reachability: app -> core -> base sanctions app -> base too.
+  EXPECT_TRUE(cfg.dep_allowed("core", "base"));
+  EXPECT_TRUE(cfg.dep_allowed("app", "base"));
+  EXPECT_FALSE(cfg.dep_allowed("base", "core"));
+  EXPECT_TRUE(cfg.dep_allowed("base", "base"));
+}
+
+TEST(ParcelLint, LayerConfigRejectsBadDeclarations) {
+  Config cfg;
+  std::string error;
+  EXPECT_FALSE(parse_config("layer base = a\nlayer base = b\n", cfg, error));
+  EXPECT_NE(error.find("duplicate layer"), std::string::npos);
+
+  cfg = {};
+  EXPECT_FALSE(parse_config("layer base = a\nallow-dep base -> ghost\n", cfg,
+                            error));
+  EXPECT_NE(error.find("undeclared layer"), std::string::npos);
+
+  cfg = {};
+  EXPECT_FALSE(parse_config(
+      "layer a = a\nlayer b = b\nallow-dep a -> b\nallow-dep b -> a\n", cfg,
+      error));
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+
+  cfg = {};
+  EXPECT_FALSE(parse_config("layer = a\n", cfg, error));
+  EXPECT_FALSE(parse_config("layer x =\n", cfg, error));
+  EXPECT_FALSE(parse_config("allow-dep a b\n", cfg, error));
+}
+
+TEST(ParcelLintCli, LayerFixtureFlagsUpwardIncludeAndCycle) {
+  std::string text;
+  const std::string root = kFixtures + "/layers";
+  int rc = cli({"--config", root + "/layers.rules", "--root", root, "."},
+               &text);
+  EXPECT_EQ(rc, 1);
+  // The sanctioned upper -> base include is silent; the upward include
+  // and the intra-layer cycle are the only two findings.
+  EXPECT_EQ(count_of(text, "[layer-violation]"), 2u) << text;
+  EXPECT_NE(text.find("base/bad.hpp:3"), std::string::npos) << text;
+  EXPECT_NE(
+      text.find("include cycle: cyc/a.hpp -> cyc/b.hpp -> cyc/a.hpp"),
+      std::string::npos)
+      << text;
+}
+
+// --- companion-header dedupe (the v1 double-lint regression) ---------------
+
+TEST(ParcelLintCli, SiblingHeaderLintedExactlyOncePerScan) {
+  std::string text;
+  int rc = cli({"--root", kFixtures + "/dupunit", "."}, &text);
+  EXPECT_EQ(rc, 1);
+  // One violation in the header, scanned alongside its .cpp: exactly one
+  // report line, while both files still count as scanned.
+  EXPECT_EQ(count_of(text, "header-using-namespace"), 1u) << text;
+  EXPECT_NE(text.find("1 finding(s) in 2 file(s)"), std::string::npos) << text;
+}
+
+TEST(ParcelLintCli, TransitiveFixturesThroughCliExitCodes) {
+  std::string text;
+  EXPECT_EQ(cli({"--root", kFixtures, "transitive_ok.cpp"}, &text), 0) << text;
+  // Count the report-line form ": [rule]" — the transitive diagnostic's
+  // message text itself names the source rule in brackets.
+  EXPECT_EQ(cli({"--root", kFixtures, "transitive_chain.cpp"}, &text), 1);
+  EXPECT_EQ(count_of(text, ": [nondet-transitive]"), 2u) << text;
+  EXPECT_EQ(count_of(text, ": [nondet-time]"), 1u) << text;
+  // Severed edge: only the direct finding remains.
+  EXPECT_EQ(cli({"--root", kFixtures, "transitive_allow.cpp"}, &text), 1);
+  EXPECT_EQ(count_of(text, ": [nondet-transitive]"), 0u) << text;
+  EXPECT_EQ(count_of(text, ": [nondet-time]"), 1u) << text;
+  // Reasonless allow: edge live, suppression itself called out.
+  EXPECT_EQ(cli({"--root", kFixtures, "transitive_allow_no_reason.cpp"},
+                &text),
+            1);
+  EXPECT_EQ(count_of(text, ": [nondet-transitive]"), 1u) << text;
+  EXPECT_EQ(count_of(text, ": [lint-suppression]"), 1u) << text;
+}
+
 // The shipped tree itself must be clean — same invocation as the
 // parcel_lint_tree ctest and the ci.sh gate, driven through run_cli.
 TEST(ParcelLintCli, RepoTreeIsClean) {

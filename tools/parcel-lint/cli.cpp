@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -14,6 +15,11 @@ namespace fs = std::filesystem;
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool is_impl(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc";
 }
 
 bool read_file(const fs::path& p, std::string& out) {
@@ -99,27 +105,84 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t finding_count = 0;
-  bool hard_error = false;
-  for (const fs::path& file : files) {
+  // Lex each file exactly once; the same LexOutput feeds the per-file
+  // rules, the whole-program index, and the layer checker (this cache is
+  // what keeps the tree lint inside its CI time budget).  std::map node
+  // stability lets units and ProgramFiles hold pointers into it.
+  std::map<std::string, LexOutput> lexed;
+  auto lex_file = [&](const fs::path& p) -> const LexOutput* {
+    auto it = lexed.find(p.string());
+    if (it != lexed.end()) return &it->second;
     std::string source;
-    if (!read_file(file, source)) {
+    if (!read_file(p, source)) return nullptr;
+    return &lexed.emplace(p.string(), lex(source)).first->second;
+  };
+
+  const std::set<fs::path> file_set(files.begin(), files.end());
+  auto sibling_impl_in_set = [&](const fs::path& header) {
+    for (const char* ext : {".cpp", ".cc"}) {
+      fs::path impl = header;
+      impl.replace_extension(ext);
+      if (file_set.count(impl) > 0) return true;
+    }
+    return false;
+  };
+
+  // Fold each sibling header into its .cpp's lint unit instead of linting
+  // it twice (once standalone, once joined): the unit reports the
+  // header's findings exactly once.
+  struct Unit {
+    fs::path path;
+    UnitSource src;
+    fs::path header;  // empty if none
+  };
+  std::vector<Unit> units;
+  std::vector<ProgramFile> program_files;
+  std::set<std::string> program_paths;
+  for (const fs::path& file : files) {
+    if (!is_impl(file) && sibling_impl_in_set(file)) continue;
+    const LexOutput* lx = lex_file(file);
+    if (lx == nullptr) {
       err << "parcel-lint: cannot read " << file.string() << "\n";
       return 2;
     }
-    // A .cpp is linted together with its sibling header so containers
-    // declared in the class body are known when the .cpp iterates them.
-    std::string header;
-    const std::string* header_ptr = nullptr;
-    if (file.extension() == ".cpp" || file.extension() == ".cc") {
-      fs::path sibling = file;
-      sibling.replace_extension(".hpp");
-      if (fs::exists(sibling) && read_file(sibling, header)) {
-        header_ptr = &header;
+    Unit unit;
+    unit.path = file;
+    unit.src.rel_path = rel_str(file, root_path);
+    unit.src.lex = lx;
+    if (is_impl(file)) {
+      // A .cpp is linted together with its sibling header so containers
+      // declared in the class body are known when the .cpp iterates them.
+      for (const char* ext : {".hpp", ".h"}) {
+        fs::path sibling = file;
+        sibling.replace_extension(ext);
+        if (!fs::exists(sibling)) continue;
+        const LexOutput* hlx = lex_file(sibling);
+        if (hlx == nullptr) continue;
+        unit.header = sibling;
+        unit.src.header_path = rel_str(sibling, root_path);
+        unit.src.header_lex = hlx;
+        unit.src.report_header = file_set.count(sibling) > 0;
+        break;
       }
     }
-    FileReport rep =
-        lint_source(rel_str(file, root_path), source, config, header_ptr);
+    units.push_back(std::move(unit));
+  }
+  for (const Unit& unit : units) {
+    if (program_paths.insert(unit.src.rel_path).second) {
+      program_files.push_back({unit.src.rel_path, unit.src.lex, true,
+                               unit.src.header_lex});
+    }
+    if (unit.src.header_lex != nullptr &&
+        program_paths.insert(unit.src.header_path).second) {
+      program_files.push_back({unit.src.header_path, unit.src.header_lex,
+                               unit.src.report_header, unit.src.lex});
+    }
+  }
+
+  std::size_t finding_count = 0;
+  bool hard_error = false;
+  auto emit = [&](const FileReport& rep) {
     for (const std::string& e : rep.errors) {
       err << "parcel-lint: error: " << e << "\n";
       hard_error = true;
@@ -129,7 +192,25 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << "\n";
       ++finding_count;
     }
+  };
+
+  for (const Unit& unit : units) {
+    emit(lint_unit(unit.src, config));
   }
+
+  // Whole-program passes share one index over the already-lexed files.
+  const ProgramIndex index = build_program_index(program_files);
+  FileReport program_rep;
+  check_nondet_transitive(index, config, program_rep);
+  check_layers(index, config, program_paths, program_rep);
+  check_mutex_annotations(index, config, program_rep);
+  std::stable_sort(program_rep.findings.begin(), program_rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  emit(program_rep);
+
   if (hard_error) return 2;
   out << "parcel-lint: " << finding_count << " finding(s) in " << files.size()
       << " file(s)\n";

@@ -1,0 +1,55 @@
+#pragma once
+// Shared internals between the per-file rules (rules.cpp), the
+// whole-program indexer (index.cpp), and the layer checker (layers.cpp).
+// Not part of the public lint.hpp surface.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace parcel::lint::internal {
+
+bool is_ident(const Token& t, const char* text);
+bool is_punct(const Token& t, char c);
+
+// Unordered-container tracking: type aliases resolving to unordered_* and
+// variables/members declared with one.
+struct UnorderedDecls {
+  std::set<std::string> types;
+  std::set<std::string> vars;
+};
+void collect_unordered(const std::vector<Token>& toks, UnorderedDecls& out);
+
+// One banned construct, before config scoping / suppression filtering.
+struct RawEvent {
+  std::string rule;   // nondet-random / nondet-time / nondet-getenv /
+                      // unordered-iter
+  std::string token;  // offending identifier
+  int line = 0;
+};
+
+// Detect every nondet source (random/time/getenv) in the token stream.
+void collect_nondet_events(const std::vector<Token>& toks,
+                           std::vector<RawEvent>& out);
+
+// Detect every iteration over a declared-unordered container.
+void collect_unordered_events(const std::vector<Token>& toks,
+                              const UnorderedDecls& decls,
+                              std::vector<RawEvent>& out);
+
+// Human-facing message for a direct finding of `rule` on `token`.
+std::string direct_message(const std::string& rule, const std::string& token);
+
+// Does an allow(<rule>) suppression *with a reason* cover `line`?
+// (Same-line, or a standalone comment on the previous line.)
+bool suppression_covers(const LexOutput& lx, const std::string& rule,
+                        int line);
+
+// Skip a balanced <...> starting at toks[i] (which must be '<'); returns
+// the index one past the matching '>'.  Token granularity is one char, so
+// '>>' closes two levels, which is exactly what nested templates need.
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i);
+
+}  // namespace parcel::lint::internal

@@ -104,7 +104,9 @@ LexOutput lex(const std::string& src) {
         continue;
       }
     }
-    // String / char literal (contents dropped; escapes honoured).
+    // String / char literal (contents dropped; escapes honoured).  The
+    // one exception is an `#include "..."` target, whose content is the
+    // input of the layer-violation pass and is captured on the side.
     if (c == '"' || c == '\'') {
       char quote = c;
       std::size_t j = i + 1;
@@ -112,6 +114,14 @@ LexOutput lex(const std::string& src) {
         if (src[j] == '\\' && j + 1 < n) ++j;
         if (src[j] == '\n') ++line;
         ++j;
+      }
+      const std::size_t nt = out.tokens.size();
+      if (quote == '"' && nt >= 2 &&
+          out.tokens[nt - 2].kind == TokenKind::kPunct &&
+          out.tokens[nt - 2].text == "#" &&
+          out.tokens[nt - 1].kind == TokenKind::kIdentifier &&
+          out.tokens[nt - 1].text == "include") {
+        out.includes.push_back({src.substr(i + 1, j - i - 1), line});
       }
       out.tokens.push_back(
           {quote == '"' ? TokenKind::kString : TokenKind::kChar, "", line});

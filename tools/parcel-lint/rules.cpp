@@ -1,16 +1,13 @@
-#include "lint.hpp"
-
 #include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
 
-namespace parcel::lint {
-namespace {
+#include "internal.hpp"
+#include "lint.hpp"
 
-bool is_header(const std::string& path) {
-  return path.ends_with(".hpp") || path.ends_with(".h");
-}
+namespace parcel::lint {
+namespace internal {
 
 bool is_ident(const Token& t, const char* text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
@@ -18,6 +15,17 @@ bool is_ident(const Token& t, const char* text) {
 bool is_punct(const Token& t, char c) {
   return t.kind == TokenKind::kPunct && t.text[0] == c;
 }
+
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], '<')) ++depth;
+    if (is_punct(toks[i], '>') && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+namespace {
 
 // The call-site heuristics below look one token back: `.time(` / `->time(`
 // are member calls on project types (deterministic by construction) and
@@ -48,24 +56,7 @@ bool preceded_by_type_name(const std::vector<Token>& toks, std::size_t i) {
   return kStatementKeywords.count(p.text) == 0;
 }
 
-// --- unordered-container tracking -----------------------------------------
-
-struct UnorderedDecls {
-  std::set<std::string> types;  // type names that resolve to unordered_*
-  std::set<std::string> vars;   // variables/members declared with one
-};
-
-// Skip a balanced <...> starting at toks[i] (which must be '<'); returns
-// the index one past the matching '>'.  Token granularity is one char, so
-// '>>' closes two levels, which is exactly what nested templates need.
-std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (is_punct(toks[i], '<')) ++depth;
-    if (is_punct(toks[i], '>') && --depth == 0) return i + 1;
-  }
-  return i;
-}
+}  // namespace
 
 void collect_unordered(const std::vector<Token>& toks, UnorderedDecls& out) {
   out.types.insert({"unordered_map", "unordered_set", "unordered_multimap",
@@ -107,15 +98,8 @@ void collect_unordered(const std::vector<Token>& toks, UnorderedDecls& out) {
   }
 }
 
-// --- individual rules ------------------------------------------------------
-
-void add(FileReport& rep, const std::string& path, int line,
-         const char* rule, std::string message) {
-  rep.findings.push_back({path, line, rule, std::move(message)});
-}
-
-void check_nondet(const std::string& path, const std::vector<Token>& toks,
-                  const Config& cfg, FileReport& rep) {
+void collect_nondet_events(const std::vector<Token>& toks,
+                           std::vector<RawEvent>& out) {
   static const std::set<std::string> kRandomAlways = {"random_device"};
   static const std::set<std::string> kRandomCalls = {
       "rand", "srand", "drand48", "lrand48", "random_shuffle"};
@@ -124,51 +108,32 @@ void check_nondet(const std::string& path, const std::vector<Token>& toks,
   static const std::set<std::string> kTimeCalls = {
       "time",   "clock",     "gettimeofday", "clock_gettime",
       "localtime", "gmtime", "mktime"};
-  const bool random_on = cfg.applies("nondet-random", path);
-  const bool time_on = cfg.applies("nondet-time", path);
-  const bool env_on = cfg.applies("nondet-getenv", path);
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokenKind::kIdentifier) continue;
-    if (random_on) {
-      if (kRandomAlways.count(t.text) > 0) {
-        add(rep, path, t.line, "nondet-random",
-            "'" + t.text + "' is a nondeterministic seed source; derive "
-            "seeds from util::Rng / the run config instead");
-      } else if (kRandomCalls.count(t.text) > 0 &&
-                 followed_by_call(toks, i) &&
-                 !preceded_by_member_access(toks, i) &&
-                 !preceded_by_type_name(toks, i)) {
-        add(rep, path, t.line, "nondet-random",
-            "'" + t.text + "()' breaks replay determinism; use util::Rng "
-            "streams forked from the run seed");
-      }
+    if (kRandomAlways.count(t.text) > 0) {
+      out.push_back({"nondet-random", t.text, t.line});
+    } else if (kRandomCalls.count(t.text) > 0 && followed_by_call(toks, i) &&
+               !preceded_by_member_access(toks, i) &&
+               !preceded_by_type_name(toks, i)) {
+      out.push_back({"nondet-random", t.text, t.line});
     }
-    if (time_on) {
-      if (kClockTypes.count(t.text) > 0) {
-        add(rep, path, t.line, "nondet-time",
-            "'std::chrono::" + t.text + "' reads the wall clock; simulated "
-            "time must come from sim::Scheduler::now()");
-      } else if (kTimeCalls.count(t.text) > 0 && followed_by_call(toks, i) &&
-                 !preceded_by_member_access(toks, i) &&
-                 !preceded_by_type_name(toks, i)) {
-        add(rep, path, t.line, "nondet-time",
-            "'" + t.text + "()' reads the wall clock; simulated time must "
-            "come from sim::Scheduler::now()");
-      }
+    if (kClockTypes.count(t.text) > 0) {
+      out.push_back({"nondet-time", t.text, t.line});
+    } else if (kTimeCalls.count(t.text) > 0 && followed_by_call(toks, i) &&
+               !preceded_by_member_access(toks, i) &&
+               !preceded_by_type_name(toks, i)) {
+      out.push_back({"nondet-time", t.text, t.line});
     }
-    if (env_on &&
-        (t.text == "getenv" || t.text == "secure_getenv")) {
-      add(rep, path, t.line, "nondet-getenv",
-          "'" + t.text + "' makes behaviour depend on the environment; "
-          "only util/ and bench/ may read env toggles");
+    if (t.text == "getenv" || t.text == "secure_getenv") {
+      out.push_back({"nondet-getenv", t.text, t.line});
     }
   }
 }
 
-void check_unordered_iter(const std::string& path,
-                          const std::vector<Token>& toks,
-                          const UnorderedDecls& decls, FileReport& rep) {
+void collect_unordered_events(const std::vector<Token>& toks,
+                              const UnorderedDecls& decls,
+                              std::vector<RawEvent>& out) {
   for (std::size_t i = 0; i < toks.size(); ++i) {
     // Range-for whose range expression mentions an unordered variable.
     if (is_ident(toks[i], "for") && i + 1 < toks.size() &&
@@ -193,10 +158,7 @@ void check_unordered_iter(const std::string& path,
         for (std::size_t j = colon + 1; j < close; ++j) {
           if (toks[j].kind == TokenKind::kIdentifier &&
               decls.vars.count(toks[j].text) > 0) {
-            add(rep, path, toks[j].line, "unordered-iter",
-                "range-for over unordered container '" + toks[j].text +
-                "': iteration order is hash-seed dependent and leaks into "
-                "results/traces; use std::map/std::vector or sort first");
+            out.push_back({"unordered-iter", toks[j].text, toks[j].line});
             break;
           }
         }
@@ -211,13 +173,63 @@ void check_unordered_iter(const std::string& path,
         toks[i + 2].kind == TokenKind::kIdentifier) {
       const std::string& m = toks[i + 2].text;
       if ((m == "begin" || m == "cbegin") && followed_by_call(toks, i + 2)) {
-        add(rep, path, toks[i].line, "unordered-iter",
-            "iterator over unordered container '" + toks[i].text +
-            "': iteration order is hash-seed dependent and leaks into "
-            "results/traces; use std::map/std::vector or sort first");
+        out.push_back({"unordered-iter", toks[i].text, toks[i].line});
       }
     }
   }
+}
+
+std::string direct_message(const std::string& rule, const std::string& token) {
+  if (rule == "nondet-random") {
+    if (token == "random_device") {
+      return "'" + token + "' is a nondeterministic seed source; derive "
+             "seeds from util::Rng / the run config instead";
+    }
+    return "'" + token + "()' breaks replay determinism; use util::Rng "
+           "streams forked from the run seed";
+  }
+  if (rule == "nondet-time") {
+    if (token == "system_clock" || token == "steady_clock" ||
+        token == "high_resolution_clock") {
+      return "'std::chrono::" + token + "' reads the wall clock; simulated "
+             "time must come from sim::Scheduler::now()";
+    }
+    return "'" + token + "()' reads the wall clock; simulated time must "
+           "come from sim::Scheduler::now()";
+  }
+  if (rule == "nondet-getenv") {
+    return "'" + token + "' makes behaviour depend on the environment; "
+           "only util/ and bench/ may read env toggles";
+  }
+  // unordered-iter
+  return "iteration over unordered container '" + token +
+         "': iteration order is hash-seed dependent and leaks into "
+         "results/traces; use std::map/std::vector or sort first";
+}
+
+bool suppression_covers(const LexOutput& lx, const std::string& rule,
+                        int line) {
+  for (const Suppression& s : lx.suppressions) {
+    if (s.rule != rule || s.reason.empty()) continue;
+    if (s.line == line || (s.standalone && s.line + 1 == line)) return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::is_ident;
+using internal::is_punct;
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+void add(FileReport& rep, const std::string& path, int line,
+         const char* rule, std::string message) {
+  rep.findings.push_back({path, line, rule, std::move(message)});
 }
 
 void check_header_hygiene(const std::string& path,
@@ -254,75 +266,118 @@ void check_float_drift(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
-}  // namespace
-
-FileReport lint_source(const std::string& rel_path, const std::string& source,
-                       const Config& config,
-                       const std::string* companion_header_source) {
-  FileReport rep;
-  LexOutput lx = lex(source);
-
-  UnorderedDecls decls;
-  collect_unordered(lx.tokens, decls);
-  if (companion_header_source != nullptr) {
-    LexOutput hdr = lex(*companion_header_source);
-    collect_unordered(hdr.tokens, decls);
+// Per-file rules over one lexed file: direct nondet/unordered events plus
+// header hygiene and float drift.  `decls` already merges the companion.
+void lint_one_file(const std::string& path, const LexOutput& lx,
+                   const internal::UnorderedDecls& decls, const Config& config,
+                   FileReport& rep) {
+  std::vector<internal::RawEvent> events;
+  internal::collect_nondet_events(lx.tokens, events);
+  if (config.applies("unordered-iter", path)) {
+    internal::collect_unordered_events(lx.tokens, decls, events);
   }
-
-  check_nondet(rel_path, lx.tokens, config, rep);
-  if (config.applies("unordered-iter", rel_path)) {
-    check_unordered_iter(rel_path, lx.tokens, decls, rep);
+  for (const internal::RawEvent& e : events) {
+    if (!config.applies(e.rule, path)) continue;
+    add(rep, path, e.line, e.rule.c_str(),
+        internal::direct_message(e.rule, e.token));
   }
-  check_header_hygiene(rel_path, lx.tokens, config, rep);
-  if (config.applies("float-double-drift", rel_path)) {
-    check_float_drift(rel_path, lx.tokens, rep);
+  check_header_hygiene(path, lx.tokens, config, rep);
+  if (config.applies("float-double-drift", path)) {
+    check_float_drift(path, lx.tokens, rep);
   }
+}
 
-  // Validate suppressions before applying them: a typo'd rule id must be a
-  // hard error (exit 2), or the gate it meant to bypass silently stays off.
+// Validate suppressions, apply them to `rep`'s findings for `path`, and
+// report unexplained allow(...) comments.  A typo'd rule id must be a
+// hard error (exit 2), or the gate it meant to bypass silently stays off.
+void apply_suppressions(const std::string& path, const LexOutput& lx,
+                        const Config& config, FileReport& rep) {
   for (const Suppression& s : lx.suppressions) {
     if (!is_known_rule(s.rule)) {
-      rep.errors.push_back(rel_path + ":" + std::to_string(s.line) +
+      rep.errors.push_back(path + ":" + std::to_string(s.line) +
                            ": suppression names unknown rule '" + s.rule +
                            "'");
     }
   }
-  if (!rep.errors.empty()) return rep;
+  if (!rep.errors.empty()) return;
 
-  // Apply suppressions.  A suppression covers findings on its own line;
-  // a comment that stands alone on its line covers the next line too.
-  // An empty reason does not suppress — it becomes a finding itself, so
-  // the shipped tree can never carry an unexplained allow(...).
+  // A suppression covers findings on its own line; a comment that stands
+  // alone on its line covers the next line too.  An empty reason does not
+  // suppress — it becomes a finding itself, so the shipped tree can never
+  // carry an unexplained allow(...).
   std::vector<Finding> kept;
-  for (const Finding& f : rep.findings) {
-    bool suppressed = false;
-    for (const Suppression& s : lx.suppressions) {
-      if (s.rule != f.rule || s.reason.empty()) continue;
-      if (s.line == f.line || (s.standalone && s.line + 1 == f.line)) {
-        suppressed = true;
-        break;
-      }
+  for (Finding& f : rep.findings) {
+    if (f.path == path &&
+        internal::suppression_covers(lx, f.rule, f.line)) {
+      continue;
     }
-    if (!suppressed) kept.push_back(f);
+    kept.push_back(std::move(f));
   }
   rep.findings = std::move(kept);
 
-  if (config.applies("lint-suppression", rel_path)) {
+  if (config.applies("lint-suppression", path)) {
     for (const Suppression& s : lx.suppressions) {
       if (s.reason.empty()) {
-        add(rep, rel_path, s.line, "lint-suppression",
+        add(rep, path, s.line, "lint-suppression",
             "allow(" + s.rule + ") without a reason: every suppression "
             "must explain itself");
       }
     }
   }
+}
 
+void sort_findings(FileReport& rep) {
   std::sort(rep.findings.begin(), rep.findings.end(),
             [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+}
+
+}  // namespace
+
+FileReport lint_unit(const UnitSource& unit, const Config& config) {
+  FileReport rep;
+
+  internal::UnorderedDecls decls;
+  internal::collect_unordered(unit.lex->tokens, decls);
+  if (unit.header_lex != nullptr) {
+    internal::collect_unordered(unit.header_lex->tokens, decls);
+  }
+
+  lint_one_file(unit.rel_path, *unit.lex, decls, config, rep);
+  apply_suppressions(unit.rel_path, *unit.lex, config, rep);
+
+  // The companion header is linted from the same unit (never a second
+  // time as a standalone input), with the merged declaration context.
+  if (unit.header_lex != nullptr && unit.report_header) {
+    FileReport hdr;
+    lint_one_file(unit.header_path, *unit.header_lex, decls, config, hdr);
+    apply_suppressions(unit.header_path, *unit.header_lex, config, hdr);
+    for (Finding& f : hdr.findings) rep.findings.push_back(std::move(f));
+    for (std::string& e : hdr.errors) rep.errors.push_back(std::move(e));
+  }
+
+  if (!rep.errors.empty()) rep.findings.clear();
+  sort_findings(rep);
   return rep;
+}
+
+FileReport lint_source(const std::string& rel_path, const std::string& source,
+                       const Config& config,
+                       const std::string* companion_header_source) {
+  LexOutput lx = lex(source);
+  LexOutput hdr;
+  UnitSource unit;
+  unit.rel_path = rel_path;
+  unit.lex = &lx;
+  if (companion_header_source != nullptr) {
+    hdr = lex(*companion_header_source);
+    unit.header_lex = &hdr;
+    unit.report_header = false;  // decl context only, matching v1 behavior
+  }
+  return lint_unit(unit, config);
 }
 
 }  // namespace parcel::lint
