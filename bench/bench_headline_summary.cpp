@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
       core::Scheme::kSpdyProxy,  core::Scheme::kParcelInd,
       core::Scheme::kParcel512K, core::Scheme::kParcel1M,
       core::Scheme::kParcelOnld, core::Scheme::kCloudBrowser,
+      core::Scheme::kParcelAdaptive,
   };
   std::map<core::Scheme, bench::PageMedians> results;
   for (core::Scheme s : schemes) {

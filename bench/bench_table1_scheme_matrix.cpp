@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
       {"Cloud browsers [6,8]", core::Scheme::kCloudBrowser, "proxy", "proxy",
        "no"},
       {"PARCEL", core::Scheme::kParcelInd, "proxy", "client", "yes"},
+      {"PARCEL-ADAPT", core::Scheme::kParcelAdaptive, "proxy", "client",
+       "yes"},
   };
 
   // All (scheme × page) runs fan out together; slots are read back

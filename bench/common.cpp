@@ -18,10 +18,10 @@ sim::FaultPlan g_fault_plan;
 
 }  // namespace
 
-Corpus build_corpus(int pages, std::uint64_t seed) {
+Corpus build_corpus(int pages, std::uint64_t seed, web::PageMix mix) {
   Corpus corpus;
   web::PageGenerator gen(seed);
-  corpus.specs = gen.corpus_specs(pages);
+  corpus.specs = gen.mix_specs(mix, pages);
   for (const auto& spec : corpus.specs) {
     corpus.live_pages.push_back(
         std::make_unique<web::WebPage>(web::PageGenerator::generate(spec)));
@@ -67,6 +67,96 @@ double parse_nonneg_double(const char* flag, const char* text) {
                                 text + "'");
   }
   return v;
+}
+
+// Strict --fade grammar: off | ar1 | KIND[:key=val,...]. Every numeric
+// value goes through parse_nonneg_double, so signs, inf/nan, hex floats,
+// and trailing junk are rejected there; the structural junk (unknown
+// kinds/keys, empty segments, missing '=') is rejected here; and the
+// semantic junk (high < low, duty > 1, zero durations) is rejected by
+// lte::FadeSpec::validate().
+FadeOption parse_fade(const char* flag, const char* text) {
+  FadeOption opt;
+  const std::string s(text);
+  if (s == "off") return opt;
+  if (s == "ar1") {
+    opt.ar1 = true;
+    return opt;
+  }
+  const std::size_t colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  lte::FadeSpec spec;
+  if (kind == "pulse") {
+    spec.kind = lte::FadeSpec::Kind::kPulse;
+  } else if (kind == "ramp") {
+    spec.kind = lte::FadeSpec::Kind::kRamp;
+  } else if (kind == "step") {
+    spec.kind = lte::FadeSpec::Kind::kStep;
+  } else {
+    throw std::invalid_argument(std::string(flag) + ": unknown fade kind '" +
+                                kind + "' (expected off|ar1|pulse|ramp|step)");
+  }
+  if (colon != std::string::npos) {
+    const std::string rest = s.substr(colon + 1);
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t comma = rest.find(',', pos);
+      const std::string kv =
+          rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        throw std::invalid_argument(std::string(flag) +
+                                    ": expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const double v = parse_nonneg_double(flag, kv.substr(eq + 1).c_str());
+      if (key == "high") {
+        spec.high = v;
+      } else if (key == "low") {
+        spec.low = v;
+      } else if (key == "duty") {
+        spec.duty = v;
+      } else if (key == "period") {
+        spec.period = util::Duration::seconds(v);
+      } else if (key == "at") {
+        spec.at = util::Duration::seconds(v);
+      } else if (key == "step") {
+        spec.step = util::Duration::seconds(v);
+      } else if (key == "horizon") {
+        spec.horizon = util::Duration::seconds(v);
+      } else {
+        throw std::invalid_argument(std::string(flag) +
+                                    ": unknown fade key '" + key + "'");
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  spec.validate();
+  opt.profile = spec;
+  return opt;
+}
+
+// Strict on/off parse for boolean toggles (--ctrl): nothing but the two
+// canonical spellings, so "1"/"true"/"ON" typos fail loudly.
+bool parse_on_off(const char* flag, const char* text) {
+  if (std::strcmp(text, "on") == 0) return true;
+  if (std::strcmp(text, "off") == 0) return false;
+  throw std::invalid_argument(std::string(flag) + " expects 'on' or 'off', got '" +
+                              text + "'");
+}
+
+// Strict page-mix name parse (--mix): exactly the to_string names.
+web::PageMix parse_page_mix(const char* flag, const char* text) {
+  for (web::PageMix mix :
+       {web::PageMix::kAlexa34, web::PageMix::kAdHeavy, web::PageMix::kSpa,
+        web::PageMix::kLargeObject}) {
+    if (web::to_string(mix) == text) return mix;
+  }
+  throw std::invalid_argument(
+      std::string(flag) +
+      " expects one of alexa34|ad-heavy|spa|large-object, got '" + text + "'");
 }
 
 // Strict unsigned 64-bit parse (seeds; 0 is legal).
@@ -164,6 +254,30 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.quick = true;
       opts.pages = 10;
       opts.rounds = 1;
+    } else if (std::strcmp(argv[i], "--fade") == 0) {
+      const char* spec = flag_value("--fade", argc, argv, i);
+      try {
+        opts.fade = parse_fade("--fade", spec);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--ctrl") == 0) {
+      const char* value = flag_value("--ctrl", argc, argv, i);
+      try {
+        opts.ctrl = parse_on_off("--ctrl", value);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      const char* name = flag_value("--mix", argc, argv, i);
+      try {
+        opts.mix = parse_page_mix("--mix", name);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       const char* spec = flag_value("--faults", argc, argv, i);
       try {

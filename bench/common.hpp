@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
+#include "lte/radio_link.hpp"
 #include "replay/replay_store.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/stats.hpp"
@@ -25,8 +27,19 @@ struct Corpus {
 };
 
 /// Build the evaluation corpus: `pages` sites drawn from the paper's
-/// distributions, recorded through the replay store.
-Corpus build_corpus(int pages, std::uint64_t seed = 2014);
+/// distributions (or one of the ISSUE 10 PageMix families), recorded
+/// through the replay store.
+Corpus build_corpus(int pages, std::uint64_t seed = 2014,
+                    web::PageMix mix = web::PageMix::kAlexa34);
+
+/// Parsed --fade value: `off` leaves both fields unset (no fading),
+/// `ar1` selects the seeded stochastic fade of live_run_config, and a
+/// KIND[:key=val,...] spec yields the deterministic lte::FadeSpec
+/// profile the adaptive benches sweep.
+struct FadeOption {
+  bool ar1 = false;
+  std::optional<lte::FadeSpec> profile;
+};
 
 struct BenchOptions {
   int pages = 34;   // paper's page count
@@ -56,14 +69,21 @@ struct BenchOptions {
   /// (see replay_run_config / live_run_config). Off by default, so the
   /// BENCH_*.json baselines stay byte-comparable across builds.
   sim::FaultPlan faults;
+  /// Adaptive-bundling knobs (bench_adaptive; ISSUE 10). --fade SPEC
+  /// picks the radio bandwidth trajectory, --ctrl on|off maps onto the
+  /// PARCEL_CTRL kill switch (applied by the bench, not the parser),
+  /// --mix NAME picks the PageMix family handed to build_corpus.
+  FadeOption fade;
+  bool ctrl = true;
+  web::PageMix mix = web::PageMix::kAlexa34;
 };
 
 /// Parse --pages N / --rounds N / --jobs N / --clients N / --workers N /
 /// --shards N / --l2-cost MS_PER_MIB / --arrival-seed N / --quick /
-/// --faults SPEC from argv (see sim::FaultPlan::parse for the spec
-/// grammar; "off" disables). The PARCEL_FAULT_SEED environment variable
-/// overrides the plan's seed. Malformed values abort with a clear error
-/// on stderr.
+/// --faults SPEC / --fade SPEC / --ctrl on|off / --mix NAME from argv
+/// (see sim::FaultPlan::parse for the fault grammar; "off" disables).
+/// The PARCEL_FAULT_SEED environment variable overrides the plan's
+/// seed. Malformed values abort with a clear error on stderr.
 BenchOptions parse_options(int argc, char** argv);
 
 /// Strict flag-value parsers behind parse_options, exposed so tests can
@@ -76,6 +96,18 @@ std::uint64_t parse_u64(const char* flag, const char* text);
 /// Finite decimal >= 0 (e.g. --l2-cost); rejects negatives (including
 /// "-0"), inf/nan spellings, hex floats, and trailing junk.
 double parse_nonneg_double(const char* flag, const char* text);
+/// `--fade` grammar: `off` | `ar1` | KIND[:key=val,...] with KIND one of
+/// pulse|ramp|step; keys high/low/duty are plain fractions and
+/// period/at/step/horizon are seconds, all parsed with
+/// parse_nonneg_double's strictness. Unknown kinds or keys, empty or
+/// valueless segments, and specs rejected by lte::FadeSpec::validate()
+/// all throw.
+FadeOption parse_fade(const char* flag, const char* text);
+/// Exactly `on` or `off` — no 1/0/true/yes spellings.
+bool parse_on_off(const char* flag, const char* text);
+/// One of web::to_string(PageMix)'s names:
+/// alexa34|ad-heavy|spa|large-object.
+web::PageMix parse_page_mix(const char* flag, const char* text);
 
 /// Default controlled-replay run configuration (§7.2: no fading in the
 /// controlled comparisons; variability handled by seeds).

@@ -176,12 +176,27 @@ awk -F': ' '/"identical_across_jobs"/ { ident = ($2 ~ /true/) }
                   } else { print "streaming fleet smoke FAILED"; exit 1 } }' \
   build-ci/bench/BENCH_fleet.json
 
+echo "==> Adaptive bundling smoke (fade sweep: controller vs fixed grid)"
+# bench_adaptive exits nonzero unless the closed-loop controller beats
+# every fixed bundle size on the canonical fade sweep, jobs=1 and jobs=4
+# runs are bitwise identical, and --ctrl off pins the trace byte-for-byte
+# to the fixed 512K scheme; the awk pass re-asserts the recorded gates.
+(cd build-ci/bench && ./bench_adaptive --quick)
+awk -F': ' '/"beats_every_fixed"/ { beats = ($2 ~ /true/) }
+            /"deterministic_across_jobs"/ { det = ($2 ~ /true/) }
+            /"ctrl_off_byte_identical"/ { pin = ($2 ~ /true/) }
+            END { if (beats && det && pin) {
+                    print "adaptive smoke OK: beats fixed grid, identical" \
+                          " across jobs, kill switch pinned"
+                  } else { print "adaptive smoke FAILED"; exit 1 } }' \
+  build-ci/bench/BENCH_adaptive.json
+
 echo "==> ThreadSanitizer: parallel runner + parse cache + fleet race-free"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPARCEL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target parcel_tests
 ./build-tsan/tests/parcel_tests \
-  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:FleetStreaming.*:SharedStore.*:ProxyCompute.*:ShardRouter.*:ProxyComputeCrash.*:ShardedFleet.*:ShardedStreaming.*'
+  --gtest_filter='ParallelRunner.*:RunExperiments.*:RunRounds.*:ParseCacheTest.*:FaultedRuns.*:FleetRunner.*:FleetStreaming.*:SharedStore.*:ProxyCompute.*:ShardRouter.*:ProxyComputeCrash.*:ShardedFleet.*:ShardedStreaming.*:AdaptiveE2E.*:FleetArrivals.*'
 
 echo "==> AddressSanitizer: full suite (zero-copy views must not dangle)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

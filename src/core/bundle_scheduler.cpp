@@ -65,6 +65,14 @@ void BundleScheduler::on_proxy_onload() {
 
 void BundleScheduler::on_page_complete() { flush(); }
 
+void BundleScheduler::set_threshold(Bytes threshold) {
+  if (threshold <= 0) {
+    throw std::invalid_argument(
+        "BundleScheduler::set_threshold: threshold must be positive");
+  }
+  config_.threshold = threshold;
+}
+
 void BundleScheduler::flush() {
   if (pending_.empty()) return;
   web::MhtmlWriter bundle = std::move(pending_);

@@ -56,7 +56,15 @@ class BundleScheduler {
   /// remainder unconditionally.
   void on_page_complete();
 
+  /// Mid-load retune (ISSUE 10, ctrl::BundleController): the new target
+  /// is consulted at the next on_object, i.e. it takes effect at a
+  /// bundle boundary — data already pending keeps accumulating toward
+  /// the new threshold rather than being flushed early. Only meaningful
+  /// under kThreshold; IND/ONLD ignore it by construction.
+  void set_threshold(Bytes threshold);
+
   [[nodiscard]] std::size_t bundles_sent() const { return bundles_sent_; }
+  [[nodiscard]] Bytes threshold() const { return config_.threshold; }
   [[nodiscard]] Bytes pending_bytes() const { return pending_.payload_bytes(); }
 
  private:

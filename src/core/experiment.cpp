@@ -24,6 +24,7 @@ std::string to_string(Scheme s) {
     case Scheme::kParcel1M: return "PARCEL(1M)";
     case Scheme::kParcel2M: return "PARCEL(2M)";
     case Scheme::kCloudBrowser: return "CB";
+    case Scheme::kParcelAdaptive: return "PARCEL-ADAPT";
   }
   return "?";
 }
@@ -35,6 +36,7 @@ bool is_parcel(Scheme s) {
     case Scheme::kParcel512K:
     case Scheme::kParcel1M:
     case Scheme::kParcel2M:
+    case Scheme::kParcelAdaptive:
       return true;
     default:
       return false;
@@ -48,6 +50,12 @@ BundleConfig bundle_for(Scheme s) {
     case Scheme::kParcel512K: return BundleConfig::with_threshold(util::kib(512));
     case Scheme::kParcel1M: return BundleConfig::with_threshold(util::mib(1));
     case Scheme::kParcel2M: return BundleConfig::with_threshold(util::mib(2));
+    // The controller's starting point before any samples fold; §6's
+    // worked b* ≈ 0.9 MB at the median link rounds to the 1M rail, but
+    // starting at 512K keeps the first bundle's latency low and lets the
+    // estimator pull upward.
+    case Scheme::kParcelAdaptive:
+      return BundleConfig::with_threshold(util::kib(512));
     default:
       throw std::invalid_argument("bundle_for: not a PARCEL scheme");
   }
@@ -159,6 +167,10 @@ RunResult run_parcel(Scheme scheme, const web::WebPage& page,
   ParcelSessionConfig session_cfg;
   session_cfg.proxy.fetch = proxy_fetch_config();
   session_cfg.proxy.bundle = bundle_for(scheme);
+  if (config.parcel_threshold_override > 0 &&
+      session_cfg.proxy.bundle.policy == BundlePolicy::kThreshold) {
+    session_cfg.proxy.bundle.threshold = config.parcel_threshold_override;
+  }
   session_cfg.proxy.inactivity_window = config.proxy_inactivity_window;
   session_cfg.client_engine = client_engine_config(config.device);
   session_cfg.proxy_domain = Testbed::kProxyDomain;
@@ -176,6 +188,28 @@ RunResult run_parcel(Scheme scheme, const web::WebPage& page,
 
   ParcelSession session(testbed.network(), session_cfg,
                         util::Rng(config.seed));
+
+  // Closed-loop adaptive bundling (ISSUE 10). The controller only exists
+  // for kParcelAdaptive with the kill switch on: every other scheme (and
+  // PARCEL_CTRL=0 adaptive runs) never installs the listener, consumes
+  // no RNG and arms no events, so their traces stay byte-identical to a
+  // build without the ctrl layer. The controller itself is deterministic
+  // integer state fed in record order — bitwise identical across --jobs.
+  std::optional<ctrl::BundleController> controller;
+  if (scheme == Scheme::kParcelAdaptive && ctrl::ctrl_enabled()) {
+    ctrl::ControllerConfig ctrl_cfg = config.ctrl;
+    // The estimator's CR gate and promotion compensation must describe
+    // the radio this run actually uses.
+    ctrl_cfg.estimator.rrc = config.testbed.radio.rrc;
+    controller.emplace(ctrl_cfg, session_cfg.proxy.bundle.threshold);
+    testbed.client_trace().set_burst_listener(
+        [&controller, &session](const trace::PacketRecord& r) {
+          if (auto next = controller->on_record(r)) {
+            session.retune_bundle_threshold(*next);
+          }
+        });
+  }
+
   if (plan.proxy_crash_at) {
     testbed.scheduler().schedule_at(*plan.proxy_crash_at, [&session, &testbed] {
       session.inject_proxy_crash();
@@ -224,6 +258,16 @@ RunResult run_parcel(Scheme scheme, const web::WebPage& page,
     result.direct_fetches = session.client_fetcher().direct_fetches();
     testbed.client_trace().record_fault(trace::FaultEvent{
         *session.degraded_at(), trace::FaultKind::kDegraded, 0, 0});
+  }
+  if (controller) {
+    // Detach the live tap before the trace is handed off to RunResult —
+    // the moved trace must not carry a listener into captures that
+    // outlive the controller's stack frame.
+    testbed.client_trace().set_burst_listener(nullptr);
+    result.ctrl_retunes = controller->retunes();
+    result.ctrl_goodput_bps = controller->estimator().goodput_bps();
+    result.ctrl_rtt_us = controller->estimator().rtt_us();
+    result.ctrl_threshold = controller->threshold();
   }
   finalize_common(result, testbed, config);
   return result;

@@ -11,6 +11,7 @@
 
 #include "core/bundle_scheduler.hpp"
 #include "core/testbed.hpp"
+#include "ctrl/bundle_controller.hpp"
 #include "lte/device.hpp"
 #include "lte/energy.hpp"
 #include "trace/packet_trace.hpp"
@@ -28,6 +29,11 @@ enum class Scheme : std::uint8_t {
   kParcel1M,
   kParcel2M,
   kCloudBrowser,  // cloud-heavy baseline (CB)
+  /// PARCEL(X) with the ctrl::BundleController retuning X mid-load from
+  /// the live capture (ISSUE 10). With the controller disabled
+  /// (PARCEL_CTRL=0 / ctrl::set_ctrl_enabled(false)) this is byte-for-
+  /// byte the fixed scheme at the initial threshold.
+  kParcelAdaptive,
 };
 
 [[nodiscard]] std::string to_string(Scheme s);
@@ -42,6 +48,15 @@ struct RunConfig {
   util::Duration capture_window = util::Duration::seconds(60);
   /// Proxy completion heuristic window (§4.5).
   util::Duration proxy_inactivity_window = util::Duration::seconds(1.5);
+  /// Controller parameters for kParcelAdaptive runs (ISSUE 10); ignored
+  /// by every other scheme. The estimator's RRC timers are synced to
+  /// testbed.radio.rrc by the harness so the gate matches the radio.
+  ctrl::ControllerConfig ctrl;
+  /// Non-zero: override the threshold of any kThreshold bundle policy
+  /// (including kParcelAdaptive's starting point). This is how
+  /// bench_adaptive sweeps a fixed-size grid through the existing
+  /// run_experiments fan-out without a Scheme enumerator per size.
+  util::Bytes parcel_threshold_override = 0;
 };
 
 struct RunResult {
@@ -81,6 +96,14 @@ struct RunResult {
   util::Duration handoff_recovery = util::Duration::zero();
   double redo_service_sec = 0.0;  // proxy service seconds re-executed
   util::Bytes redo_bytes = 0;     // bytes the tier moved a second time
+
+  // Closed-loop control telemetry (ISSUE 10): all zero except under
+  // kParcelAdaptive with the controller enabled. Fixed-point integers
+  // straight from the controller, so cross-jobs identity is bitwise.
+  std::uint64_t ctrl_retunes = 0;        // mid-load threshold changes
+  std::int64_t ctrl_goodput_bps = 0;     // final EWMA goodput estimate
+  std::int64_t ctrl_rtt_us = 0;          // final EWMA RTT estimate
+  util::Bytes ctrl_threshold = 0;        // threshold at end of load
 
   trace::PacketTrace trace;  // kept for timeline figures (6a, 7a)
 

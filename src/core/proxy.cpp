@@ -146,6 +146,12 @@ void ParcelProxy::arm_completion_timer() {
       });
 }
 
+void ParcelProxy::set_bundle_threshold(util::Bytes threshold) {
+  if (config_.bundle.policy != BundlePolicy::kThreshold) return;
+  config_.bundle.threshold = threshold;
+  if (scheduler_) scheduler_->set_threshold(threshold);
+}
+
 void ParcelProxy::crash() {
   if (crashed_) return;
   crashed_ = true;

@@ -81,6 +81,12 @@ class ParcelProxy {
   /// pushed back as a single-part bundle (or a 204 marker part).
   void relay_post(const net::Url& url, util::Bytes body_bytes);
 
+  /// Mid-load bundle retarget (ISSUE 10): the ctrl::BundleController's
+  /// new b* reaches both the live scheduler (effective at the next
+  /// bundle boundary) and the config future pages inherit. No-op under
+  /// IND/ONLD policies.
+  void set_bundle_threshold(util::Bytes threshold);
+
   /// The proxy process dies: the in-progress page's state is lost, no
   /// further bundles, pushes, or completion notes are emitted, and
   /// incoming client requests are silently dropped (exactly what a dead

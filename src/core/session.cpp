@@ -223,6 +223,10 @@ void ParcelSession::inject_proxy_crash() { proxy_.crash(); }
 
 void ParcelSession::inject_proxy_restart() { proxy_.restart(); }
 
+void ParcelSession::retune_bundle_threshold(util::Bytes threshold) {
+  proxy_.set_bundle_threshold(threshold);
+}
+
 std::uint64_t ParcelSession::transport_retransmits() const {
   std::uint64_t n = conn_.retransmits();
   if (direct_fetcher_) n += direct_fetcher_->retransmits();

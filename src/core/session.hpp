@@ -79,6 +79,14 @@ class ParcelSession {
   void inject_proxy_crash();
   void inject_proxy_restart();
 
+  /// Closed-loop retarget (ISSUE 10): the ctrl::BundleController's new
+  /// b* is forwarded to the proxy's bundle scheduler, where it takes
+  /// effect at the next bundle boundary. In the real deployment this
+  /// rides the uplink as a tiny control message; its bytes are below the
+  /// burst granularity the simulator models, so no radio traffic is
+  /// charged.
+  void retune_bundle_threshold(util::Bytes threshold);
+
   // --- Introspection ----------------------------------------------------
   [[nodiscard]] browser::BrowserEngine& client_engine();
   [[nodiscard]] const ParcelProxy& proxy() const { return proxy_; }

@@ -13,7 +13,9 @@ Testbed::Testbed(TestbedConfig config)
         [this](const trace::FaultEvent& e) { trace_.record_fault(e); });
   }
   std::shared_ptr<const lte::FadeProcess> fade;
-  if (config_.fade) {
+  if (config_.fade_profile) {
+    fade = std::make_shared<lte::FadeProcess>(config_.fade_profile->build());
+  } else if (config_.fade) {
     fade = std::make_shared<lte::FadeProcess>(util::Rng(config_.fade_seed),
                                               *config_.fade);
   }

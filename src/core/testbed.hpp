@@ -35,6 +35,10 @@ struct TestbedConfig {
   /// Signal fading; disabled (std::nullopt) for controlled replay runs.
   std::optional<lte::FadeProcess::Params> fade;
   std::uint64_t fade_seed = 1;
+  /// Deterministic fade trajectory (ISSUE 10): takes precedence over the
+  /// seeded AR(1) `fade` when set, so the adaptive-bundling sweeps pit
+  /// every scheme against the *same* bandwidth timeline.
+  std::optional<lte::FadeSpec> fade_profile;
 
   util::BitRate core_rate = util::BitRate::mbps(1000);
   util::Duration core_delay = util::Duration::millis(5);

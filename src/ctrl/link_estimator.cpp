@@ -1,0 +1,113 @@
+#include "ctrl/link_estimator.hpp"
+
+#include <stdexcept>
+
+namespace parcel::ctrl {
+
+namespace {
+
+/// Simulated TimePoint -> integer microseconds. One rounding per record
+/// (never accumulated), so the fixed-point state stays exact.
+std::int64_t to_us(util::TimePoint t) {
+  return static_cast<std::int64_t>(t.sec() * 1e6 + 0.5);
+}
+
+std::int64_t to_us(util::Duration d) {
+  return static_cast<std::int64_t>(d.sec() * 1e6 + 0.5);
+}
+
+}  // namespace
+
+LinkEstimator::LinkEstimator(EstimatorConfig config)
+    : config_(config),
+      cr_gate_us_(to_us(config.rrc.cr_tail)),
+      goodput_bps_(config.initial_goodput_bps),
+      rtt_us_(config.initial_rtt_us) {
+  if (config.goodput_gamma_shift >= 32 || config.rtt_gamma_shift >= 32) {
+    throw std::invalid_argument("LinkEstimator: gamma shift must be < 32");
+  }
+  if (config.initial_goodput_bps <= 0 || config.initial_rtt_us <= 0) {
+    throw std::invalid_argument("LinkEstimator: seeds must be positive");
+  }
+  if (config.min_goodput_bps <= 0 ||
+      config.max_goodput_bps < config.min_goodput_bps) {
+    throw std::invalid_argument("LinkEstimator: bad goodput band");
+  }
+  if (config.min_sample_bytes <= 0 || config.min_plausible_bps <= 0) {
+    throw std::invalid_argument(
+        "LinkEstimator: serialization-sample thresholds must be positive");
+  }
+}
+
+void LinkEstimator::on_record(const trace::PacketRecord& r) {
+  const std::int64_t t_us = to_us(r.t);
+  const std::int64_t gap_us = ever_active_ ? t_us - last_t_us_ : 0;
+
+  if (r.dir == trace::Direction::kUplink) {
+    if (r.kind == trace::PacketKind::kData && !have_up_) {
+      // Remember what this request paid in promotion stall so the RTT
+      // sample can be de-skewed when the response lands.
+      up_t_us_ = t_us;
+      up_promo_us_ =
+          ever_active_
+              ? to_us(config_.rrc.promotion_delay_after_gap(
+                    util::Duration::micros(static_cast<double>(gap_us))))
+              : to_us(config_.rrc.promo_from_idle);
+      have_up_ = true;
+    }
+  } else {
+    if (r.kind == trace::PacketKind::kData) {
+      downlink_bytes_ += r.bytes;
+      if (have_up_) {
+        fold_rtt(t_us - up_t_us_ - up_promo_us_);
+        have_up_ = false;
+      }
+      if (have_down_) {
+        const std::int64_t dt_us = t_us - last_down_t_us_;
+        // Fold when the radio provably stayed in CR (gap <= the tail), or
+        // when the burst is serialization-dominated: big enough that its
+        // airtime at any plausible rate covers the whole gap. Otherwise
+        // the spacing is promotion/DRX stall or origin idle time, not
+        // serialization.
+        const bool back_to_back = dt_us > 0 && dt_us <= cr_gate_us_;
+        const bool airtime_dominated =
+            dt_us > 0 && r.bytes >= config_.min_sample_bytes &&
+            dt_us * config_.min_plausible_bps <=
+                static_cast<std::int64_t>(r.bytes) * 1'000'000;
+        if (back_to_back || airtime_dominated) {
+          fold_goodput(r.bytes * 1'000'000 / dt_us);
+        } else {
+          ++gated_samples_;
+        }
+      }
+      have_down_ = true;
+      last_down_t_us_ = t_us;
+    }
+  }
+
+  ever_active_ = true;
+  last_t_us_ = t_us;
+}
+
+void LinkEstimator::fold_goodput(std::int64_t sample_bps) {
+  if (sample_bps < config_.min_goodput_bps ||
+      sample_bps > config_.max_goodput_bps) {
+    ++gated_samples_;
+    return;
+  }
+  goodput_bps_ +=
+      (sample_bps - goodput_bps_) >> config_.goodput_gamma_shift;
+  if (goodput_bps_ < config_.min_goodput_bps) {
+    goodput_bps_ = config_.min_goodput_bps;
+  }
+  ++goodput_samples_;
+}
+
+void LinkEstimator::fold_rtt(std::int64_t sample_us) {
+  if (sample_us < 1) sample_us = 1;  // de-skew can only over-subtract
+  rtt_us_ += (sample_us - rtt_us_) >> config_.rtt_gamma_shift;
+  if (rtt_us_ < 1) rtt_us_ = 1;
+  ++rtt_samples_;
+}
+
+}  // namespace parcel::ctrl

@@ -1,0 +1,118 @@
+// ctrl::LinkEstimator: deterministic online estimates of the radio link's
+// goodput and RTT, folded from the live packet capture (ISSUE 10).
+//
+// The estimator consumes the same PacketRecords the phone-side trace
+// records (via PacketTrace's burst listener) and keeps two EWMAs:
+//
+//   * goodput — instantaneous bytes/sec between consecutive downlink data
+//     bursts. Two sample classes fold; everything else is gated:
+//       - back-to-back bursts (gap <= the CR tail): the radio never left
+//         Continuous Reception, so the spacing is pure serialization;
+//       - serialization-dominated bursts: at least `min_sample_bytes` of
+//         payload whose spacing is consistent with airtime at some rate
+//         >= `min_plausible_bps`. TCP's ack clock spaces bursts by an
+//         RTT, which exceeds the 50 ms CR tail on LTE — without this
+//         class the estimator starves exactly in the slow-origin regimes
+//         where the controller matters. A burst this large is mostly
+//         airtime, so idle headroom in the gap biases the sample low by
+//         at most the origin think time — bounded, smoothed by the EWMA,
+//         and conservative in the safe direction (smaller bundles).
+//     Gated: same-instant records, sub-floor/over-cap rates, small bursts
+//     spanning an RRC decay gap (their spacing is promotion + DRX stall,
+//     not serialization — folding them would crash the estimate exactly
+//     when the controller needs it most).
+//   * rtt — uplink request to first downlink response, with the RRC
+//     promotion latency the uplink paid (RrcConfig::
+//     promotion_delay_after_gap over the preceding idle gap) subtracted
+//     out, so the estimate tracks the path, not the radio's sleep state.
+//
+// Determinism (DESIGN.md §15): all state is integer fixed-point. Times
+// fold as microseconds, goodput as bytes/sec, and the EWMA update is
+//   ewma += (sample - ewma) >> gamma_shift
+// on std::int64_t (arithmetic right shift; well-defined since C++20).
+// No floating point accumulates across samples and no RNG is consumed,
+// so the estimator state after N records is a pure function of the
+// record sequence — bitwise identical across --jobs fan-out and hosts.
+#pragma once
+
+#include <cstdint>
+
+#include "lte/rrc.hpp"
+#include "trace/packet_trace.hpp"
+
+namespace parcel::ctrl {
+
+struct EstimatorConfig {
+  /// EWMA smoothing: gain = 2^-gamma_shift (3 -> 1/8 per sample).
+  unsigned goodput_gamma_shift = 3;
+  unsigned rtt_gamma_shift = 3;
+  /// Seeds before the first sample folds (paper §8.3: median 6 Mbps
+  /// downlink = 750 KB/s; LTE RTTs of 70-86 ms end to end).
+  std::int64_t initial_goodput_bps = 750'000;  // bytes per second
+  std::int64_t initial_rtt_us = 80'000;
+  /// Goodput samples outside this band are gated (a sub-floor sample is
+  /// a stall artifact, not bandwidth; the cap rejects same-timestamp
+  /// bursts that would divide by ~zero).
+  std::int64_t min_goodput_bps = 1'000;
+  std::int64_t max_goodput_bps = 1'000'000'000;
+  /// Serialization-dominated sampling (see the header comment): bursts of
+  /// at least this size fold even across an RRC decay gap, provided the
+  /// gap is no longer than their airtime at `min_plausible_bps` — the
+  /// deepest fade the estimator is willing to attribute to the link
+  /// rather than to origin idle time.
+  std::int64_t min_sample_bytes = 32 * 1024;
+  std::int64_t min_plausible_bps = 40'000;
+  /// RRC timers used for CR gating and promotion compensation.
+  lte::RrcConfig rrc;
+};
+
+class LinkEstimator {
+ public:
+  explicit LinkEstimator(EstimatorConfig config);
+
+  /// Fold one captured radio burst (called in record order).
+  void on_record(const trace::PacketRecord& r);
+
+  /// Current estimates (fixed-point integers; never zero).
+  [[nodiscard]] std::int64_t goodput_bps() const { return goodput_bps_; }
+  [[nodiscard]] std::int64_t rtt_us() const { return rtt_us_; }
+  /// Total downlink payload observed (the controller's page-size floor).
+  [[nodiscard]] std::int64_t downlink_bytes() const {
+    return downlink_bytes_;
+  }
+
+  [[nodiscard]] std::uint64_t goodput_samples() const {
+    return goodput_samples_;
+  }
+  [[nodiscard]] std::uint64_t rtt_samples() const { return rtt_samples_; }
+  /// Samples rejected by the RRC gate / sanity band.
+  [[nodiscard]] std::uint64_t gated_samples() const { return gated_samples_; }
+
+ private:
+  void fold_goodput(std::int64_t sample_bps);
+  void fold_rtt(std::int64_t sample_us);
+
+  EstimatorConfig config_;
+  std::int64_t cr_gate_us_;  // gap beyond which the radio left CR
+
+  std::int64_t goodput_bps_;
+  std::int64_t rtt_us_;
+  std::int64_t downlink_bytes_ = 0;
+
+  // Previous downlink data burst (goodput pairing).
+  bool have_down_ = false;
+  std::int64_t last_down_t_us_ = 0;
+  // Pending uplink awaiting its first downlink (RTT pairing).
+  bool have_up_ = false;
+  std::int64_t up_t_us_ = 0;
+  std::int64_t up_promo_us_ = 0;
+  // End of the most recent radio activity in either direction (gap base).
+  bool ever_active_ = false;
+  std::int64_t last_t_us_ = 0;
+
+  std::uint64_t goodput_samples_ = 0;
+  std::uint64_t rtt_samples_ = 0;
+  std::uint64_t gated_samples_ = 0;
+};
+
+}  // namespace parcel::ctrl

@@ -1,6 +1,7 @@
 #include "fleet/fleet_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -16,6 +17,18 @@
 
 namespace parcel::fleet {
 
+std::string_view to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kFlashCrowd:
+      return "flash-crowd";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+  }
+  throw std::logic_error("to_string: unknown ArrivalProcess");
+}
+
 void FleetConfig::validate() const {
   if (clients < 1) {
     throw std::invalid_argument("FleetConfig: clients must be >= 1, got " +
@@ -24,6 +37,24 @@ void FleetConfig::validate() const {
   if (mean_interarrival < util::Duration::zero()) {
     throw std::invalid_argument(
         "FleetConfig: mean_interarrival must be >= 0");
+  }
+  if (!std::isfinite(flash_boost) || flash_boost < 0.0) {
+    throw std::invalid_argument(
+        "FleetConfig: flash_boost must be finite and >= 0");
+  }
+  if (flash_at < util::Duration::zero() ||
+      flash_window < util::Duration::zero()) {
+    throw std::invalid_argument(
+        "FleetConfig: flash_at and flash_window must be >= 0");
+  }
+  if (diurnal_period <= util::Duration::zero()) {
+    throw std::invalid_argument("FleetConfig: diurnal_period must be > 0");
+  }
+  if (!std::isfinite(diurnal_amplitude) || diurnal_amplitude < 0.0 ||
+      diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "FleetConfig: diurnal_amplitude must be in [0, 1) so the arrival "
+        "rate stays positive");
   }
   if (store_capacity < 0) {
     throw std::invalid_argument("FleetConfig: store_capacity must be >= 0");
@@ -49,6 +80,34 @@ void FleetConfig::validate() const {
   }
 }
 
+namespace {
+
+/// Rate multiplier m(t) for the inhomogeneous arrival processes.  The
+/// inter-arrival draw taken at time t uses mean `mean_interarrival /
+/// m(t)` — a deterministic thinning-free approximation of an
+/// inhomogeneous Poisson process that keeps arrivals non-decreasing by
+/// client index (the epoch planner's split test depends on that).
+double arrival_rate_multiplier(const FleetConfig& config, util::TimePoint t) {
+  switch (config.arrivals) {
+    case ArrivalProcess::kPoisson:
+      return 1.0;
+    case ArrivalProcess::kFlashCrowd: {
+      const double at = config.flash_at.sec();
+      const double end = at + config.flash_window.sec();
+      const double now = t.sec();
+      return (now >= at && now < end) ? 1.0 + config.flash_boost : 1.0;
+    }
+    case ArrivalProcess::kDiurnal: {
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      const double phase = kTwoPi * t.sec() / config.diurnal_period.sec();
+      return 1.0 + config.diurnal_amplitude * std::sin(phase);
+    }
+  }
+  throw std::logic_error("arrival_rate_multiplier: unknown process");
+}
+
+}  // namespace
+
 ClientColumns derive_client_columns(const FleetConfig& config,
                                     std::size_t corpus_pages) {
   config.validate();
@@ -67,8 +126,17 @@ ClientColumns derive_client_columns(const FleetConfig& config,
   util::TimePoint t = util::TimePoint::origin();
   for (int k = 0; k < config.clients; ++k) {
     if (k > 0 && !config.mean_interarrival.is_zero()) {
-      t += util::Duration::seconds(
-          arrivals.exponential(config.mean_interarrival.sec()));
+      // kPoisson keeps the historical expression verbatim so existing
+      // fleets replay byte-identically; the modulated processes divide
+      // the mean by m(t) at the current simulation time.
+      if (config.arrivals == ArrivalProcess::kPoisson) {
+        t += util::Duration::seconds(
+            arrivals.exponential(config.mean_interarrival.sec()));
+      } else {
+        t += util::Duration::seconds(arrivals.exponential(
+            config.mean_interarrival.sec() /
+            arrival_rate_multiplier(config, t)));
+      }
     }
     auto uk = static_cast<std::uint64_t>(k);
     cols.arrival_sec.push_back(t.sec());

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -57,14 +58,40 @@ struct ClientSpec {
   core::RunConfig config;
 };
 
+/// Arrival-process families (ISSUE 10): how the fleet's K clients land
+/// on the timeline. All are seeded rate-modulated renewal processes —
+/// the inter-arrival draw at time t uses mean `mean_interarrival / m(t)`
+/// — so arrival times are non-decreasing by client index (the epoch
+/// planner depends on that) and bitwise deterministic.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,     // m(t) = 1: the historical homogeneous process
+  kFlashCrowd,  // m(t) = 1 + flash_boost inside the flash window
+  kDiurnal,     // m(t) = 1 + amplitude * sin(2π t / period)
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalProcess p);
+
 struct FleetConfig {
   /// Number of concurrent client sessions (K).
   int clients = 8;
   core::Scheme scheme = core::Scheme::kParcelInd;
-  /// Seeded Poisson arrivals: exponential inter-arrival times with this
-  /// mean, cumulative from t=0.
+  /// Seeded arrivals: exponential inter-arrival times with this mean,
+  /// cumulative from t=0, rate-modulated per `arrivals`. kPoisson
+  /// consumes exactly the historical draw sequence (byte-identical
+  /// fleets).
   std::uint64_t arrival_seed = 2014;
   util::Duration mean_interarrival = util::Duration::millis(200);
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// kFlashCrowd: arrival rate is multiplied by (1 + flash_boost) while
+  /// t is inside [flash_at, flash_at + flash_window] — the thundering
+  /// herd the admission controller and shard tiers must absorb.
+  double flash_boost = 19.0;
+  util::Duration flash_at = util::Duration::seconds(2);
+  util::Duration flash_window = util::Duration::seconds(1);
+  /// kDiurnal: sinusoidal load swing (period scaled to simulation time;
+  /// amplitude in [0, 1) keeps the rate positive).
+  util::Duration diurnal_period = util::Duration::seconds(20);
+  double diurnal_amplitude = 0.8;
   ProxyComputeConfig compute;
   /// Shared-store capacity (0 = unbounded).
   util::Bytes store_capacity = 0;

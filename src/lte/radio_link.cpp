@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace parcel::lte {
 
@@ -17,6 +18,81 @@ FadeProcess::FadeProcess(util::Rng rng, Params params) : params_(params) {
     x = params.mean_scale + params.correlation * (x - params.mean_scale) +
         rng.normal(0.0, params.volatility);
   }
+}
+
+FadeProcess FadeProcess::from_steps(Params params,
+                                    std::vector<double> steps) {
+  if (steps.empty()) {
+    throw std::invalid_argument("FadeProcess::from_steps: empty trajectory");
+  }
+  for (double s : steps) {
+    if (!(s > 0.0) || s > 1.0) {
+      throw std::invalid_argument(
+          "FadeProcess::from_steps: scales must be in (0, 1]");
+    }
+  }
+  FadeProcess out;
+  out.params_ = params;
+  out.steps_ = std::move(steps);
+  return out;
+}
+
+void FadeSpec::validate() const {
+  if (step <= Duration::zero() || horizon <= Duration::zero()) {
+    throw std::invalid_argument("FadeSpec: step/horizon must be positive");
+  }
+  if (!(low > 0.0) || high > 1.0 || low > high) {
+    throw std::invalid_argument(
+        "FadeSpec: need 0 < low <= high <= 1");
+  }
+  if (kind == Kind::kPulse) {
+    if (period <= Duration::zero()) {
+      throw std::invalid_argument("FadeSpec: pulse period must be positive");
+    }
+    if (duty < 0.0 || duty > 1.0) {
+      throw std::invalid_argument("FadeSpec: duty must be in [0, 1]");
+    }
+  }
+  if (kind == Kind::kStep && at < Duration::zero()) {
+    throw std::invalid_argument("FadeSpec: step time must be >= 0");
+  }
+}
+
+std::vector<double> FadeSpec::build_steps() const {
+  validate();
+  auto n = static_cast<std::size_t>(std::ceil(horizon / step)) + 1;
+  std::vector<double> steps;
+  steps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) * step.sec();
+    double scale = high;
+    switch (kind) {
+      case Kind::kPulse: {
+        // Faded for the *last* `duty` of each period, so every period
+        // opens at full strength (the sweep's recovery phase).
+        double phase = std::fmod(t, period.sec()) / period.sec();
+        scale = phase >= 1.0 - duty ? low : high;
+        break;
+      }
+      case Kind::kRamp: {
+        double frac = horizon.sec() > 0.0 ? t / horizon.sec() : 1.0;
+        scale = high + (low - high) * std::min(1.0, frac);
+        break;
+      }
+      case Kind::kStep:
+        scale = t >= at.sec() ? low : high;
+        break;
+    }
+    steps.push_back(scale);
+  }
+  return steps;
+}
+
+FadeProcess FadeSpec::build() const {
+  FadeProcess::Params params;
+  params.step = step;
+  params.horizon = horizon;
+  return FadeProcess::from_steps(params, build_steps());
 }
 
 double FadeProcess::scale_at(TimePoint t) const {

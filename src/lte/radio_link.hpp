@@ -29,6 +29,12 @@ class FadeProcess {
 
   FadeProcess(util::Rng rng, Params params);
 
+  /// Deterministic profile (ISSUE 10): an explicit step trajectory, no
+  /// RNG. `params.step` gives the step cadence; `steps` must be
+  /// non-empty with every value in (0, 1].
+  [[nodiscard]] static FadeProcess from_steps(Params params,
+                                              std::vector<double> steps);
+
   /// Fade multiplier in effect at time t (in (0, 1]).
   [[nodiscard]] double scale_at(TimePoint t) const;
 
@@ -42,8 +48,44 @@ class FadeProcess {
   }
 
  private:
+  FadeProcess() = default;
+
   Params params_;
   std::vector<double> steps_;
+};
+
+/// Deterministic signal-fade profile (ISSUE 10): names an exact bandwidth
+/// trajectory for the radio, unlike the seeded AR(1) FadeProcess. The
+/// adaptive-bundling bench sweeps these so the controller and the fixed
+/// bundle-size grid face *identical* link conditions.
+struct FadeSpec {
+  enum class Kind : std::uint8_t {
+    kPulse,  // square wave: high, dropping to low for duty of each period
+    kRamp,   // linear high -> low across the horizon
+    kStep,   // high until `at`, then low for the rest of the horizon
+  };
+
+  Kind kind = Kind::kPulse;
+  Duration step = Duration::millis(500);
+  Duration horizon = Duration::seconds(120);
+  double high = 1.0;
+  double low = 0.3;
+  /// kPulse: cadence of the square wave and the fraction of each period
+  /// spent in the faded (low) state.
+  Duration period = Duration::seconds(10);
+  double duty = 0.5;
+  /// kStep: when the drop happens.
+  Duration at = Duration::seconds(5);
+
+  /// Throws std::invalid_argument on nonsense (non-positive durations,
+  /// scales outside (0, 1], high < low, duty outside [0, 1]).
+  void validate() const;
+
+  /// The per-step multiplier trajectory this spec describes.
+  [[nodiscard]] std::vector<double> build_steps() const;
+
+  /// Convenience: the FadeProcess the radio consumes.
+  [[nodiscard]] FadeProcess build() const;
 };
 
 struct RadioParams {

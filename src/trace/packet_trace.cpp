@@ -9,6 +9,10 @@
 namespace parcel::trace {
 
 void PacketTrace::record(PacketRecord r) {
+  // Live tap first (ISSUE 10): the ctrl estimators see records in the
+  // order the radio produced them, which is the only order an online
+  // observer could see.
+  if (burst_listener_) burst_listener_(r);
   // Bursts are produced by multiple connections whose events interleave in
   // time order already (the scheduler fires them in order), but promotion
   // retiming can produce slight inversions; keep the columns sorted.

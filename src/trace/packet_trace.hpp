@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iterator>
 #include <memory_resource>
 #include <optional>
@@ -245,6 +246,20 @@ class PacketTrace {
   }
   [[nodiscard]] std::size_t fault_count(FaultKind kind) const;
 
+  /// Live burst channel (ISSUE 10): called with each record as it is
+  /// captured, in arrival order (before any time-sort reordering the
+  /// columns apply). The online ctrl:: estimators tap the capture here;
+  /// the listener is *observational* — it must not mutate the trace, it
+  /// is never serialized, and the experiment harness clears it before
+  /// the trace is handed off to RunResult. Null (the default) costs one
+  /// branch per record.
+  void set_burst_listener(std::function<void(const PacketRecord&)> listener) {
+    burst_listener_ = std::move(listener);
+  }
+  [[nodiscard]] bool has_burst_listener() const {
+    return static_cast<bool>(burst_listener_);
+  }
+
   /// Truncate to records with t <= cutoff (paper limits capture to 60 s).
   void truncate_after(TimePoint cutoff);
 
@@ -273,6 +288,8 @@ class PacketTrace {
   std::pmr::vector<FaultKind> fault_kind_;
   std::pmr::vector<Bytes> fault_bytes_;
   std::pmr::vector<std::uint32_t> fault_conn_;
+  // Live capture tap (never serialized; cleared before RunResult handoff).
+  std::function<void(const PacketRecord&)> burst_listener_;
 };
 
 }  // namespace parcel::trace

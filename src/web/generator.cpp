@@ -231,6 +231,78 @@ std::vector<PageSpec> PageGenerator::corpus_specs(int pages) {
   return specs;
 }
 
+std::string_view to_string(PageMix mix) {
+  switch (mix) {
+    case PageMix::kAlexa34: return "alexa34";
+    case PageMix::kAdHeavy: return "ad-heavy";
+    case PageMix::kSpa: return "spa";
+    case PageMix::kLargeObject: return "large-object";
+  }
+  return "?";
+}
+
+std::vector<PageSpec> PageGenerator::mix_specs(PageMix mix, int pages) {
+  if (mix == PageMix::kAlexa34) return corpus_specs(pages);
+  if (pages <= 0) {
+    throw std::invalid_argument("mix_specs: pages must be positive");
+  }
+  std::vector<PageSpec> specs;
+  specs.reserve(static_cast<std::size_t>(pages));
+  for (int i = 0; i < pages; ++i) {
+    PageSpec spec;
+    switch (mix) {
+      case PageMix::kAdHeavy:
+        // Ad/tracker-saturated front page: hundreds of small objects
+        // spread across third-party domains, mostly async widget JS.
+        // Many tiny objects -> bundle boundaries are cheap to hit and
+        // the per-bundle RRC stalls dominate.
+        spec.site = ssprintf("ads%02d.example.com", i);
+        spec.object_count =
+            static_cast<int>(corpus_rng_.uniform_int(160, 380));
+        spec.total_bytes = static_cast<Bytes>(
+            corpus_rng_.uniform(1.2e6, 3.2e6));
+        spec.extra_domains =
+            static_cast<int>(corpus_rng_.uniform_int(14, 24));
+        spec.sync_js_fraction = corpus_rng_.uniform(0.2, 0.35);
+        spec.max_js_chain_depth = 3;
+        break;
+      case PageMix::kSpa:
+        // Single-page app shell: a lean object census but long
+        // synchronous script chains — discovery is serialized behind JS
+        // execution, so bytes trickle into the proxy.
+        spec.site = ssprintf("spa%02d.example.com", i);
+        spec.object_count =
+            static_cast<int>(corpus_rng_.uniform_int(18, 42));
+        spec.total_bytes = static_cast<Bytes>(
+            corpus_rng_.uniform(0.5e6, 1.4e6));
+        spec.extra_domains =
+            static_cast<int>(corpus_rng_.uniform_int(2, 5));
+        spec.sync_js_fraction = corpus_rng_.uniform(0.8, 0.95);
+        spec.max_js_chain_depth = 8;
+        break;
+      case PageMix::kLargeObject:
+        // Hero-asset page: a handful of multi-MB media objects; the
+        // page budget dwarfs any fixed threshold, so serialization wait
+        // dominates the schedule.
+        spec.site = ssprintf("big%02d.example.com", i);
+        spec.object_count =
+            static_cast<int>(corpus_rng_.uniform_int(10, 24));
+        spec.total_bytes = static_cast<Bytes>(
+            corpus_rng_.uniform(3.0e6, 7.5e6));
+        spec.extra_domains =
+            static_cast<int>(corpus_rng_.uniform_int(1, 4));
+        spec.sync_js_fraction = corpus_rng_.uniform(0.3, 0.5);
+        spec.max_js_chain_depth = 4;
+        break;
+      case PageMix::kAlexa34:
+        break;  // handled above
+    }
+    spec.seed = corpus_rng_.next_u64();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 WebPage PageGenerator::generate(const PageSpec& spec) {
   if (spec.object_count < 8) {
     throw std::invalid_argument("PageSpec: need at least 8 objects");

@@ -36,6 +36,18 @@ struct PageSpec {
   std::uint64_t seed = 1;
 };
 
+/// Workload families beyond the paper's Alexa-34 statistics (ISSUE 10):
+/// the page-structure regimes the adaptive-bundling controller is
+/// stressed against, each shifting where the optimal bundle size lands.
+enum class PageMix : std::uint8_t {
+  kAlexa34,      // the paper's corpus distributions (corpus_specs)
+  kAdHeavy,      // many small objects across many ad/tracker domains
+  kSpa,          // app shell: few objects, deep synchronous JS chains
+  kLargeObject,  // a handful of multi-MB hero assets
+};
+
+[[nodiscard]] std::string_view to_string(PageMix mix);
+
 class PageGenerator {
  public:
   explicit PageGenerator(std::uint64_t corpus_seed)
@@ -50,6 +62,11 @@ class PageGenerator {
 
   /// The paper's 34-page evaluation set (or any other count).
   std::vector<PageSpec> corpus_specs(int pages);
+
+  /// A corpus drawn from one of the PageMix families; kAlexa34 is
+  /// exactly corpus_specs. Deterministic given (corpus seed, mix,
+  /// pages) — the draws come from this generator's stream.
+  std::vector<PageSpec> mix_specs(PageMix mix, int pages);
 
   /// The ebay-like interactive page used in §8.2 and Fig 7a.
   static PageSpec interactive_spec(std::uint64_t seed);
